@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Ablation: attraction-memory associativity — each global page set
+ * holds P*K pages, so lower associativity stresses the injection
+ * protocol and the page daemon (Section 6).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Ablation (AM associativity)");
+    vcoma::Runner runner;
+    sink(vcoma::amAssociativity(runner, scale));
+    vcoma_bench::footer(runner);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Ablation: measured behaviour of the Section 4.2 injection protocol
+ * (home absorption, random-ring forwarding, emergency swaps) under
+ * V-COMA for every benchmark.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Ablation (injection)");
+    vcoma::Runner runner;
+    sink(vcoma::injectionBehaviour(runner, scale));
+    vcoma_bench::footer(runner);
+    return 0;
+}

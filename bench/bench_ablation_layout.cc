@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Ablation: Section 6's layout-pressure discussion — sequential
+ * virtual layouts give uniform global-set pressure for free, while an
+ * adversarial alignment concentrates pages on one colour and drives
+ * the page daemon into swapping.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Ablation (layout pressure)");
+    vcoma::Runner runner;
+    sink(vcoma::layoutPressure(runner, scale));
+    vcoma_bench::footer(runner);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Ablation: the DLB sharing effect vs machine size (Section 6's
+ * scaling argument) — per-reference DLB miss rates should fall as
+ * nodes are added, while private L3 TLBs do not improve.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Ablation (scaling)");
+    vcoma::Runner runner;
+    sink(vcoma::dlbScaling(runner, scale));
+    vcoma_bench::footer(runner);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Ablation: software-managed address translation (Jacob & Mudge),
+ * modelled per Section 3.3 as an L2-TLB with zero entries that traps
+ * on every SLC miss, compared against hardware L2-TLBs.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Ablation (software TLB)");
+    vcoma::Runner runner;
+    sink(vcoma::softwareManagedTranslation(runner, scale));
+    vcoma_bench::footer(runner);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Section 6 discussion: the tag-memory overhead of virtual tags
+ * (2-3 extra bytes per block) as a function of block size.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::banner("Section 6 (virtual tag overhead)");
+    sink(vcoma::tagOverheadTable());
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Ablation: translation-miss service-time sensitivity. L0-TLB pays
+ * the penalty on the critical path of every miss; V-COMA's shared
+ * DLB misses so rarely that execution time barely moves.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Ablation (miss service time)");
+    vcoma::Runner runner;
+    sink(vcoma::translationCostSensitivity(runner, scale));
+    vcoma_bench::footer(runner);
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces Figure 10: execution-time breakdown (busy / sync /
+ * loc-stall / rem-stall / translation) for TLB/8, TLB/8/DM, DLB/8,
+ * DLB/8/DM and the RAYTRACE DLB/8/V2 layout variant, normalised to
+ * the TLB/8 physical COMA.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Figure 10 (execution time)");
+    vcoma::Runner runner;
+    for (const auto &table : vcoma::figure10ExecTime(runner, scale))
+        sink(table);
+    vcoma_bench::footer(runner);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Figure 11: the memory-pressure profile across global
+ * page sets under V-COMA (uniform without any tuning, Section 6).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Figure 11 (pressure)");
+    vcoma::Runner runner;
+    for (const auto &table : vcoma::figure11Pressure(runner, scale))
+        sink(table);
+    vcoma_bench::footer(runner);
+    return 0;
+}

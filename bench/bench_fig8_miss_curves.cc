@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces Figure 8: translation misses per node as a function of
+ * TLB/DLB size (8..512) for every benchmark and scheme, including the
+ * L2-TLB/no_wback variant.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Figure 8 (miss curves)");
+    vcoma::Runner runner;
+    for (const auto &table : vcoma::figure8MissCurves(runner, scale))
+        sink(table);
+    vcoma_bench::footer(runner);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Figure 9: direct-mapped vs fully associative TLB/DLB
+ * miss counts per node across the size sweep.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Figure 9 (direct mapped)");
+    vcoma::Runner runner;
+    for (const auto &table : vcoma::figure9DirectMapped(runner, scale))
+        sink(table);
+    vcoma_bench::footer(runner);
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the simulator's hot
+ * components: cache lookups, TLB lookups (FA hash vs DM array),
+ * attraction-memory searches, the coherence fast path, and
+ * end-to-end simulated-reference throughput. These bound the wall
+ * clock of the paper-reproduction runs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "sim/machine.hh"
+#include "tlb/tlb.hh"
+#include "translation/system_builder.hh"
+#include "workloads/workload.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache("bm", CacheConfig{64 * 1024, 4, 64, false, true});
+    Rng rng(1);
+    std::vector<VAddr> addrs(4096);
+    for (auto &a : addrs)
+        a = rng.below(1 << 20);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addrs[i++ & 4095], RefType::Read));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbLookupFullyAssociative(benchmark::State &state)
+{
+    Tlb tlb(static_cast<unsigned>(state.range(0)), 0, 1);
+    Rng rng(2);
+    std::vector<PageNum> vpns(4096);
+    for (auto &v : vpns)
+        v = rng.below(1024);
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.access(vpns[i++ & 4095]));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookupFullyAssociative)->Arg(8)->Arg(128)->Arg(512);
+
+void
+BM_TlbLookupDirectMapped(benchmark::State &state)
+{
+    Tlb tlb(static_cast<unsigned>(state.range(0)), 1, 1);
+    Rng rng(2);
+    std::vector<PageNum> vpns(4096);
+    for (auto &v : vpns)
+        v = rng.below(1024);
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.access(vpns[i++ & 4095]));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookupDirectMapped)->Arg(8)->Arg(128)->Arg(512);
+
+void
+BM_ShadowBankAccess(benchmark::State &state)
+{
+    ShadowBank bank(3);
+    Rng rng(4);
+    std::vector<PageNum> vpns(4096);
+    for (auto &v : vpns)
+        v = rng.below(2048);
+    std::size_t i = 0;
+    for (auto _ : state)
+        bank.access(vpns[i++ & 4095]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowBankAccess);
+
+void
+BM_LocalHitPath(benchmark::State &state)
+{
+    MachineConfig cfg = tinyConfig(Scheme::VCOMA);
+    cfg.checkLevel = 0;
+    Machine machine(cfg);
+    machine.access(0, RefType::Read, 0x40000, 0);
+    Tick t = 1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            machine.access(0, RefType::Read, 0x40000, t));
+        t += 10;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalHitPath);
+
+void
+BM_SimulatedRefThroughput(benchmark::State &state)
+{
+    // End-to-end references per second of a full UNIFORM run.
+    for (auto _ : state) {
+        MachineConfig cfg = tinyConfig(Scheme::VCOMA);
+        cfg.checkLevel = 0;
+        Machine machine(cfg);
+        WorkloadParams wp;
+        wp.threads = cfg.numNodes;
+        wp.scale = 0.2;
+        auto w = makeWorkload("UNIFORM", wp);
+        const RunStats stats = machine.run(*w);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(
+                                    stats.totalRefs()));
+    }
+}
+BENCHMARK(BM_SimulatedRefThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

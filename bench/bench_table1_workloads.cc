@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Reproduces Table 1: benchmark parameters and shared-memory
+ * footprints of the six SPLASH-2-style kernels.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Table 1 (benchmarks)");
+    sink(vcoma::table1Benchmarks(scale));
+    return 0;
+}

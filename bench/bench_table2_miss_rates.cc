@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces Table 2: TLB/DLB miss rates per processor reference (%)
+ * for sizes 8/32/128 under all five translation schemes.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Table 2 (miss rates)");
+    vcoma::Runner runner;
+    sink(vcoma::table2MissRates(runner, scale));
+    vcoma_bench::footer(runner);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces Table 3: the TLB size each scheme needs to match an
+ * 8-entry DLB (log-interpolated over the Figure 8 sweep).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Table 3 (equivalent sizes)");
+    vcoma::Runner runner;
+    sink(vcoma::table3EquivalentSize(runner, scale));
+    vcoma_bench::footer(runner);
+    return 0;
+}

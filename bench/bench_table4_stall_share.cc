@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces Table 4: address-translation time as a fraction of
+ * total memory stall time for L0-TLB vs the V-COMA DLB (sizes 8, 16).
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    const double scale = vcoma_bench::banner("Table 4 (stall share)");
+    vcoma::Runner runner;
+    sink(vcoma::table4StallShare(runner, scale));
+    vcoma_bench::footer(runner);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared scaffolding for the per-table/figure benchmark binaries:
+ * a Runner wired to the environment ($VCOMA_SCALE problem scale,
+ * $VCOMA_CACHE_DIR / $VCOMA_NO_CACHE result cache) and a banner.
+ */
+
+#ifndef VCOMA_BENCH_BENCH_UTIL_HH
+#define VCOMA_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string_view>
+
+#include "harness/experiments.hh"
+#include "harness/runner.hh"
+
+namespace vcoma_bench
+{
+
+/** Print the standard banner and return the configured scale. */
+inline double
+banner(const char *what)
+{
+    const double scale = vcoma::Runner::envScale();
+    std::cout << "V-COMA reproduction - " << what << "\n"
+              << "(problem scale " << scale
+              << "; set VCOMA_SCALE to change, VCOMA_SCALE=16 "
+                 "approaches the paper's data sets)\n\n";
+    return scale;
+}
+
+/**
+ * Output sink: renders tables as aligned text, or as CSV when the
+ * binary is invoked with --csv.
+ */
+class TableSink
+{
+  public:
+    TableSink(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (std::string_view(argv[i]) == "--csv")
+                csv_ = true;
+        }
+    }
+
+    void
+    operator()(const vcoma::Table &table) const
+    {
+        if (csv_)
+            table.printCsv(std::cout);
+        else
+            table.print(std::cout);
+    }
+
+    bool csv() const { return csv_; }
+
+  private:
+    bool csv_ = false;
+};
+
+inline void
+footer(const vcoma::Runner &runner)
+{
+    std::cout << "[" << runner.executed()
+              << " simulation(s) executed; the rest served from the "
+                 "result cache]\n";
+}
+
+} // namespace vcoma_bench
+
+#endif // VCOMA_BENCH_BENCH_UTIL_HH

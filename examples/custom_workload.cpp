@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Example: writing a custom workload against the public API.
+ *
+ * Workload threads are ordinary C++ coroutines that yield MemRef
+ * events; the simulator handles placement, coherence, translation and
+ * timing. This example builds a producer/consumer pipeline, runs it
+ * under every translation scheme, and then demonstrates the page-
+ * protection machinery of Section 4.3 by revoking write access to
+ * the ring buffer mid-run... after the run, using the direct access
+ * API.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/machine.hh"
+#include "translation/system_builder.hh"
+#include "workloads/workload.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+/**
+ * A software pipeline: each thread produces items into a ring buffer
+ * consumed by its right neighbour (migratory sharing), with a lock
+ * per ring and a barrier per round.
+ */
+class PipelineWorkload : public Workload
+{
+  public:
+    PipelineWorkload(unsigned threads, unsigned rounds,
+                     unsigned itemsPerRound)
+        : threads_(threads), rounds_(rounds), items_(itemsPerRound)
+    {
+        rings_.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            rings_.emplace_back(space_,
+                                "pipeline.ring" + std::to_string(t),
+                                std::uint64_t{1024});
+        }
+    }
+
+    std::string name() const override { return "PIPELINE"; }
+
+    std::string
+    parameters() const override
+    {
+        return std::to_string(rounds_) + " rounds x " +
+               std::to_string(items_) + " items";
+    }
+
+    unsigned numThreads() const override { return threads_; }
+    const AddressSpace &space() const override { return space_; }
+
+    Generator<MemRef> thread(unsigned tid) override { return body(tid); }
+
+    /** Ring buffer base of thread @p t (for the protection demo). */
+    VAddr ringBase(unsigned t) const { return rings_[t].base(); }
+
+  private:
+    Generator<MemRef>
+    body(unsigned tid)
+    {
+        const unsigned next = (tid + 1) % threads_;
+        std::uint32_t bar = 0;
+        for (unsigned round = 0; round < rounds_; ++round) {
+            // Produce into my ring.
+            co_yield MemRef::lock(tid);
+            for (unsigned i = 0; i < items_; ++i)
+                co_yield MemRef::write(rings_[tid].addr(i), 4);
+            co_yield MemRef::unlock(tid);
+            co_yield MemRef::barrier(bar++);
+            // Consume my left neighbour's ring — every item written
+            // by another processor: migratory coherence traffic.
+            co_yield MemRef::lock(next);
+            for (unsigned i = 0; i < items_; ++i)
+                co_yield MemRef::read(rings_[next].addr(i), 4);
+            co_yield MemRef::unlock(next);
+            co_yield MemRef::barrier(bar++);
+        }
+    }
+
+    unsigned threads_;
+    unsigned rounds_;
+    unsigned items_;
+    AddressSpace space_;
+    std::vector<SharedArray<std::uint64_t>> rings_;
+};
+
+} // namespace
+
+int
+main()
+{
+    Table t("custom pipeline under the five schemes");
+    t.header({"scheme", "exec time", "remote reads", "upgrades",
+              "TLB/DLB misses"});
+    for (Scheme scheme : {Scheme::L0, Scheme::L1, Scheme::L2,
+                          Scheme::L3, Scheme::VCOMA}) {
+        MachineConfig cfg = baselineConfig(scheme, /*entries=*/8);
+        Machine machine(cfg);
+        PipelineWorkload workload(cfg.numNodes, /*rounds=*/16,
+                                  /*itemsPerRound=*/128);
+        const RunStats stats = machine.run(workload);
+        t.row({schemeName(scheme), std::to_string(stats.execTime),
+               std::to_string(stats.remoteReads),
+               std::to_string(stats.upgrades),
+               std::to_string(stats.tlbMisses)});
+    }
+    t.print(std::cout);
+
+    // ---- Page protection (Section 4.3) ----
+    std::cout << "-- Protection demo (V-COMA) --\n";
+    MachineConfig cfg = baselineConfig(Scheme::VCOMA);
+    Machine machine(cfg);
+    PipelineWorkload workload(cfg.numNodes, 4, 32);
+    machine.run(workload);
+
+    const VAddr ring0 = workload.ringBase(0);
+    const PageNum vpn = machine.layout().vpn(ring0);
+    std::cout << "revoking write access to ring 0 (vpn " << vpn
+              << ", home node " << machine.layout().homeNode(ring0)
+              << ")\n";
+    machine.protection().changeProtection(/*requester=*/1, vpn,
+                                          ProtRead, /*now=*/0);
+    std::cout << "update messages sent to block holders: "
+              << machine.protection().updatesSent.value() << "\n";
+    try {
+        machine.access(2, RefType::Write, ring0, 1000);
+    } catch (const ProtectionFault &fault) {
+        std::cout << "write correctly faulted: " << fault.what()
+                  << "\n";
+    }
+    machine.access(2, RefType::Read, ring0, 2000);
+    std::cout << "read still allowed.\n";
+    return 0;
+}

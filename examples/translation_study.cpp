@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Example: compare the five dynamic-address-translation schemes on
+ * one workload — the paper's central experiment in miniature.
+ *
+ * For each scheme it runs the same kernel, then prints the shadow
+ * TLB/DLB miss sweep (the Figure 8 series) and the classic three
+ * effects: filtering (fewer accesses reach deeper TLBs), sharing
+ * (DLB entries are never replicated) and prefetching (one DLB fill
+ * serves every node).
+ *
+ * Usage: translation_study [WORKLOAD] [SCALE]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/machine.hh"
+#include "tlb/shadow_bank.hh"
+#include "translation/system_builder.hh"
+#include "workloads/workload.hh"
+
+using namespace vcoma;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workloadName = argc > 1 ? argv[1] : "FFT";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+    const std::vector<Scheme> schemes{Scheme::L0, Scheme::L1,
+                                      Scheme::L2, Scheme::L3,
+                                      Scheme::VCOMA};
+    std::vector<RunStats> runs;
+
+    for (Scheme scheme : schemes) {
+        MachineConfig cfg = baselineConfig(scheme);
+        cfg.timedTranslation = false;  // miss study
+        Machine machine(cfg);
+        WorkloadParams params;
+        params.threads = cfg.numNodes;
+        params.scale = scale;
+        auto workload = makeWorkload(workloadName, params);
+        runs.push_back(machine.run(*workload));
+        std::cout << "ran " << schemeName(scheme) << " ("
+                  << runs.back().totalRefs() << " refs)\n";
+    }
+    std::cout << "\n";
+
+    // The Figure 8 series: misses per node vs TLB/DLB size.
+    Table misses(workloadName +
+                 ": translation misses per node vs size");
+    misses.header({"size", "L0-TLB", "L1-TLB", "L2-TLB", "L3-TLB",
+                   "V-COMA"});
+    for (unsigned size : shadowSizes()) {
+        std::vector<std::string> row{std::to_string(size)};
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            row.push_back(Table::num(
+                runs[i].missesPerNode(size, 0, /*wb=*/true), 0));
+        }
+        misses.row(std::move(row));
+    }
+    misses.print(std::cout);
+
+    // The filtering effect: accesses reaching each translation point.
+    Table filtering(workloadName +
+                    ": accesses reaching the translation point "
+                    "(filtering effect)");
+    filtering.header({"scheme", "accesses", "per processor ref (%)"});
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const auto &p = runs[i].shadowPoint(8, 0);
+        const double pct = 100.0 *
+                           static_cast<double>(p.accesses()) /
+                           runs[i].totalRefs();
+        filtering.row({schemeName(schemes[i]),
+                       std::to_string(p.accesses()),
+                       Table::num(pct, 1)});
+    }
+    filtering.print(std::cout);
+
+    // The sharing/prefetching effects in one number: how big a
+    // private L3 TLB must be to match an 8-entry shared DLB.
+    const double target = runs.back().missesPerNode(8, 0, true);
+    std::cout << "8-entry DLB misses/node: " << target << "\n";
+    for (unsigned size : shadowSizes()) {
+        const double l3 = runs[3].missesPerNode(size, 0, true);
+        if (l3 <= target) {
+            std::cout << "L3-TLB needs ~" << size
+                      << " entries per node to match it\n";
+            return 0;
+        }
+    }
+    std::cout << "L3-TLB needs more than 512 entries to match it\n";
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The attraction memory: the COMA "main memory" that behaves as a
+ * large set-associative cache (4 MB, 4-way, 128 B blocks in the
+ * baseline). Blocks migrate and replicate among nodes under the
+ * COMA-F protocol; each resident block carries one of the four stable
+ * states of Section 4.2.
+ *
+ * Like the Cache model this structure is address-space agnostic: the
+ * physical schemes index it with physical addresses, L3-TLB and
+ * V-COMA with virtual addresses (page colouring makes both index to
+ * the same sets in L3, Figure 4).
+ */
+
+#ifndef VCOMA_COMA_ATTRACTION_MEMORY_HH
+#define VCOMA_COMA_ATTRACTION_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+/** Stable block states of the COMA-F write-invalidate protocol. */
+enum class AmState : std::uint8_t
+{
+    Invalid,
+    Shared,        ///< read-only copy; another node is master
+    MasterShared,  ///< the distinguished (last-copy) read-only copy
+    Exclusive,     ///< sole, writable copy
+};
+
+/** True for the states whose copy must never be silently dropped. */
+inline bool
+isOwnerState(AmState s)
+{
+    return s == AmState::MasterShared || s == AmState::Exclusive;
+}
+
+/** Short state name for traces. */
+const char *amStateName(AmState s);
+
+/** One attraction-memory block frame. */
+struct AmLine
+{
+    /** Block-aligned address in this AM's indexing space. */
+    VAddr key = 0;
+    AmState state = AmState::Invalid;
+    /** Write version for coherence self-checking. */
+    std::uint32_t version = 0;
+    /** LRU stamp. */
+    std::uint64_t lastUse = 0;
+
+    bool valid() const { return state != AmState::Invalid; }
+};
+
+/** What kind of frame a victim search found. */
+enum class VictimKind : std::uint8_t
+{
+    Empty,   ///< an Invalid frame: free to use
+    Shared,  ///< a Shared (non-master) copy: droppable with notice
+    Owned,   ///< MasterShared/Exclusive: must be injected elsewhere
+};
+
+/** Result of a victim search in one set. */
+struct VictimChoice
+{
+    VictimKind kind = VictimKind::Empty;
+    /** Global line index (set * assoc + way). */
+    std::size_t lineIndex = 0;
+};
+
+/** Per-node attraction memory. */
+class AttractionMemory
+{
+  public:
+    AttractionMemory(std::string name, const CacheConfig &cfg);
+
+    /** Find the line holding block @p addr, or nullptr. */
+    AmLine *find(VAddr addr);
+    const AmLine *find(VAddr addr) const;
+
+    /** State of block @p addr (Invalid if absent). */
+    AmState state(VAddr addr) const;
+
+    /** Update LRU for @p addr (must be present). */
+    void touch(VAddr addr);
+
+    /**
+     * Pick a victim frame in the set of @p addr, preferring Invalid
+     * frames, then the LRU Shared copy, then the LRU owned copy.
+     */
+    VictimChoice chooseVictim(VAddr addr) const;
+
+    /**
+     * Like chooseVictim but never selects an owned frame: returns
+     * false if the set holds only owned blocks. Used by the injection
+     * protocol, which may only consume Invalid or Shared frames.
+     */
+    bool chooseInjectionVictim(VAddr addr, VictimChoice &out) const;
+
+    /**
+     * Install block @p addr into frame @p lineIndex (which the caller
+     * has victimised via chooseVictim and resolved).
+     */
+    AmLine &installAt(std::size_t lineIndex, VAddr addr, AmState st,
+                      std::uint32_t version);
+
+    /** Invalidate block @p addr if present. @return prior state. */
+    AmState invalidate(VAddr addr);
+
+    /** Access a line by global index. */
+    AmLine &line(std::size_t index) { return lines_.at(index); }
+    const AmLine &line(std::size_t index) const { return lines_.at(index); }
+
+    /** Total line frames (sets * assoc). */
+    std::size_t numLines() const { return lines_.size(); }
+
+    /** Set index of @p addr. */
+    std::uint64_t setOf(VAddr addr) const;
+
+    /** Block-aligned address. */
+    VAddr
+    blockAlign(VAddr addr) const
+    {
+        return addr & ~static_cast<VAddr>(cfg_.blockBytes - 1);
+    }
+
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Number of valid lines (occupancy; replication included). */
+    std::uint64_t validLines() const;
+
+    /** @{ @name Statistics */
+    Counter hits;
+    Counter misses;
+    Counter installs;
+    Counter invalidations;
+    Counter sharedDrops;   ///< Shared victims silently replaced
+    /** @} */
+
+  private:
+    std::string name_;
+    CacheConfig cfg_;
+    unsigned blockBits_;
+    unsigned setBits_;
+    std::vector<AmLine> lines_;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_COMA_ATTRACTION_MEMORY_HH

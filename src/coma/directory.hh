@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The flat COMA-F directory. Each data page has a directory page at
+ * its home node; lookups are keyed by virtual page number (the
+ * physical schemes could equivalently key by frame — the entry found
+ * is the same because the mapping is one-to-one, and the timing
+ * difference is what the DLB models capture).
+ */
+
+#ifndef VCOMA_COMA_DIRECTORY_HH
+#define VCOMA_COMA_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "core/directory_page.hh"
+
+namespace vcoma
+{
+
+/** Directory memory for the whole machine (logically per-home). */
+class Directory
+{
+  public:
+    /** @param entriesPerPage blocks per page. */
+    explicit Directory(unsigned entriesPerPage)
+        : entriesPerPage_(entriesPerPage)
+    {
+    }
+
+    /** Directory page for @p vpn, created on first use. */
+    DirectoryPage &
+    pageFor(PageNum vpn)
+    {
+        auto [it, inserted] =
+            pages_.try_emplace(vpn, entriesPerPage_);
+        if (inserted)
+            ++pagesAllocated;
+        return it->second;
+    }
+
+    /** Directory page for @p vpn or nullptr if never created. */
+    DirectoryPage *
+    findPage(PageNum vpn)
+    {
+        auto it = pages_.find(vpn);
+        return it == pages_.end() ? nullptr : &it->second;
+    }
+
+    /** Directory entry for block @p blockIdx of page @p vpn. */
+    DirectoryEntry &
+    entryFor(PageNum vpn, std::uint64_t blockIdx)
+    {
+        return pageFor(vpn).entry(blockIdx);
+    }
+
+    /** Drop the page's directory state (page reclaimed / swapped). */
+    void
+    reclaim(PageNum vpn)
+    {
+        pages_.erase(vpn);
+        ++pagesReclaimed;
+    }
+
+    unsigned entriesPerPage() const { return entriesPerPage_; }
+
+    /** All live directory pages (tests/invariant checkers). */
+    const std::unordered_map<PageNum, DirectoryPage> &
+    pages() const
+    {
+        return pages_;
+    }
+
+    Counter pagesAllocated;
+    Counter pagesReclaimed;
+
+  private:
+    unsigned entriesPerPage_;
+    std::unordered_map<PageNum, DirectoryPage> pages_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_COMA_DIRECTORY_HH

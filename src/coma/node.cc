@@ -1,0 +1,43 @@
+#include "coma/node.hh"
+
+#include <string>
+
+#include "common/bitops.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+std::string
+nodeName(const char *unit, NodeId id)
+{
+    return std::string(unit) + std::to_string(id);
+}
+
+} // namespace
+
+Node::Node(NodeId nodeId, const MachineConfig &cfg,
+           const SchemeTraits &traits)
+    : id(nodeId),
+      flc(nodeName("flc", nodeId), cfg.flc),
+      slc(nodeName("slc", nodeId), cfg.slc),
+      am(nodeName("am", nodeId), cfg.am),
+      shadow(cfg.seed + 0x5bd1e995ULL * (nodeId + 1), shadowSizes(),
+             traits.perNodeTlb ? 0 : exactLog2(cfg.numNodes))
+{
+    const auto &tc = cfg.translation;
+    if (traits.perNodeTlb) {
+        tlb = std::make_unique<Tlb>(tc.entries, tc.assoc,
+                                    cfg.seed + 77 * (nodeId + 1));
+    } else {
+        // A home's DLB only sees pages whose low vpn bits equal the
+        // home id: index with the bits above them (Figure 6).
+        dlb = std::make_unique<Dlb>(tc.entries, tc.assoc,
+                                    cfg.seed + 99 * (nodeId + 1),
+                                    exactLog2(cfg.numNodes));
+    }
+}
+
+} // namespace vcoma

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * One processing node: processor-side caches, attraction memory, the
+ * configured translation structure (a private TLB for L0..L3, or the
+ * home-side DLB for V-COMA, Figure 5), shadow observer banks, and
+ * the node's time-shared resources (protocol engine, AM port).
+ */
+
+#ifndef VCOMA_COMA_NODE_HH
+#define VCOMA_COMA_NODE_HH
+
+#include <memory>
+
+#include "coma/attraction_memory.hh"
+#include "common/config.hh"
+#include "core/dlb.hh"
+#include "mem/cache.hh"
+#include "net/network.hh"
+#include "tlb/shadow_bank.hh"
+#include "translation/scheme.hh"
+
+namespace vcoma
+{
+
+/** Per-node hardware. */
+class Node
+{
+  public:
+    Node(NodeId id, const MachineConfig &cfg, const SchemeTraits &traits);
+
+    NodeId id;
+    Cache flc;
+    Cache slc;
+    AttractionMemory am;
+    /** Protocol engine occupancy (the PE of Figure 5). */
+    Resource pe;
+    /** Attraction-memory DRAM port occupancy. */
+    Resource amPort;
+    /** Configured private TLB (L0..L3 schemes). */
+    std::unique_ptr<Tlb> tlb;
+    /** Configured home-side DLB (V-COMA). */
+    std::unique_ptr<Dlb> dlb;
+    /**
+     * Shadow observer bank at this node's translation point (fed at
+     * the scheme's TLB point for L0..L3, at the home's directory
+     * lookup for V-COMA).
+     */
+    ShadowBank shadow;
+
+    /** @{ @name Node-level event counters */
+    Counter upgradesIssued;      ///< S/MS -> E transitions requested
+    Counter injectionsIssued;    ///< owned victims sent away
+    Counter injectionsAccepted;  ///< injected blocks this node absorbed
+    Counter invalsReceived;      ///< invalidations applied here
+    /** @} */
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_COMA_NODE_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * The COMA-F write-invalidate coherence protocol (Section 4.2) with
+ * the translation mechanism of the configured scheme folded into the
+ * access path at the right place:
+ *
+ *   L0     before the FLC, on every processor reference
+ *   L1     on FLC->SLC traffic (read misses and, because the FLC is
+ *          write-through, every store)
+ *   L2     on SLC->AM traffic (demand misses, upgrades, and dirty
+ *          evictions unless write-backs carry physical pointers)
+ *   L3     on local-node misses (AM misses, upgrades, injections)
+ *   V-COMA at the home node's directory lookup (the DLB)
+ *
+ * Block states are Invalid / Shared / Master-Shared / Exclusive.
+ * Replacements of owned copies are *injected*: sent to the home,
+ * which absorbs them into an Invalid frame of the same set or
+ * forwards them around a random ring of nodes that may consume an
+ * Invalid or Shared frame (Section 4.2).
+ *
+ * The engine also self-checks coherence: every store bumps a
+ * per-block version in the directory, and every read asserts the
+ * supplier's copy carries the current version.
+ */
+
+#ifndef VCOMA_COMA_PROTOCOL_HH
+#define VCOMA_COMA_PROTOCOL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coma/directory.hh"
+#include "coma/node.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/vaddr_layout.hh"
+#include "net/network.hh"
+#include "translation/scheme.hh"
+#include "vm/page_table.hh"
+
+namespace vcoma
+{
+
+/** Thrown when an access violates the page's protection bits. */
+class ProtectionFault : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Where a processor reference was satisfied. */
+enum class ServedBy : std::uint8_t
+{
+    Flc,
+    Slc,
+    LocalAm,
+    Remote,
+};
+
+/** Timing/attribution outcome of one processor reference. */
+struct AccessResult
+{
+    /** Completion tick. */
+    Tick done = 0;
+    /** Cycles stalled on the local hierarchy (loc-stall). */
+    Cycles local = 0;
+    /** Cycles stalled on the remote transaction (rem-stall). */
+    Cycles remote = 0;
+    /** Cycles of translation penalty on the critical path. */
+    Cycles xlat = 0;
+    ServedBy servedBy = ServedBy::Flc;
+};
+
+/**
+ * The coherence engine: executes one processor reference at a time,
+ * atomically against global state, in the global-time order imposed
+ * by the simulation kernel.
+ */
+class CoherenceEngine
+{
+  public:
+    CoherenceEngine(const MachineConfig &cfg, const SchemeTraits &traits,
+                    const VAddrLayout &layout, PageTable &pageTable,
+                    Directory &directory, Network &network,
+                    std::vector<std::unique_ptr<Node>> &nodes);
+
+    /**
+     * Execute a read or write by the processor of node @p cpu at
+     * tick @p now.
+     */
+    AccessResult access(CpuId cpu, RefType type, VAddr va, Tick now);
+
+    /**
+     * Preload a freshly resident page: every block installed at the
+     * home node in MasterShared state (data sets are preloaded,
+     * Section 5.1). Untimed.
+     */
+    void preloadPage(PageInfo &page);
+
+    /**
+     * Evict a whole page from the machine: drop every cached copy,
+     * reclaim the directory page, shoot down TLB/DLB entries. The
+     * page-table residency bit is the caller's to clear.
+     */
+    void purgePage(PageNum vpn);
+
+    /**
+     * Install the swap-victim picker used when an injection finds the
+     * whole global set owned, or a page-in exceeds the pressure
+     * threshold. Receives (colour, vpn-to-protect); returns the vpn
+     * to swap out, or noPage to decline.
+     */
+    static constexpr PageNum noPage = ~PageNum{0};
+    void
+    onSwapNeeded(std::function<PageNum(std::uint64_t, PageNum)> fn)
+    {
+        swapVictimPicker_ = std::move(fn);
+    }
+
+    const SchemeTraits &traits() const { return traits_; }
+
+    /** @{ @name Protocol statistics */
+    Counter remoteReads;        ///< read misses served remotely
+    Counter remoteWrites;       ///< write misses served remotely
+    Counter upgrades;           ///< ownership-only transactions
+    Counter readForwards;       ///< reads forwarded owner != home
+    Counter invalidationsSent;
+    Counter injections;
+    Counter injectionHops;      ///< forwarding hops beyond the home
+    Counter injectionSwaps;     ///< emergencies resolved by page-out
+    Counter sharedDrops;        ///< Shared victims replaced silently
+    Counter writebackMerges;    ///< dirty SLC data folded into AM ops
+    Counter tlbShootdowns;      ///< TLB invalidations on page purges
+    Counter protectionFaults;
+    /** @} */
+
+  private:
+    /** Fast per-page context resolved once per access. */
+    struct BlockCtx
+    {
+        PageInfo *page = nullptr;
+        VAddr blockVa = 0;      ///< AM-block-aligned virtual address
+        VAddr amKey = 0;        ///< AM indexing key (VA or PA based)
+        VAddr flcKey = 0;       ///< full reference address, FLC space
+        VAddr slcKey = 0;       ///< full reference address, SLC space
+        std::uint64_t blockIdx = 0;  ///< directory entry index
+    };
+
+    BlockCtx resolve(VAddr va);
+
+    DirectoryEntry &
+    dirEntry(const BlockCtx &ctx)
+    {
+        return directory_.entryFor(ctx.page->vpn, ctx.blockIdx);
+    }
+
+    /** AM indexing key of an arbitrary block-aligned VA. */
+    VAddr amKeyOf(VAddr blockVa);
+    /** FLC/SLC indexing base of an AM block. */
+    VAddr flcKeyOf(VAddr blockVa);
+    VAddr slcKeyOf(VAddr blockVa);
+
+    /** Timed+counted access of the configured private TLB. */
+    Cycles chargeTlb(Node &node, PageNum vpn, StreamClass cls);
+    /** Timed+counted DLB access at the home node. */
+    Cycles chargeDlb(Node &home, PageInfo &page, bool exclusiveReq,
+                     StreamClass cls);
+
+    /** Version self-check at check level >= @p level. */
+    void checkVersion(const BlockCtx &ctx, const AmLine *line,
+                      unsigned level);
+
+    /** Handle a dirty SLC victim (background write-back into the AM). */
+    void handleSlcWriteback(Node &node, VAddr victimSlcKey, Tick t);
+
+    /**
+     * Make room and install block @p ctx at node @p n in state
+     * @p st; owned victims are injected (background from @p t).
+     */
+    void installBlock(Node &n, const BlockCtx &ctx, AmState st, Tick t);
+
+    /** Inject an owned victim starting at @p from (background). */
+    void injectBlock(Node &from, VAddr victimBlockVa, AmState st,
+                     std::uint32_t version, Tick t);
+
+    /** Drop a Shared victim: clear its copyset bit, notify home. */
+    void dropSharedVictim(Node &node, VAddr victimBlockVa, Tick t);
+
+    /** Invalidate node @p m's copy of the block (AM + caches). */
+    void invalidateAt(NodeId m, const BlockCtx &ctx);
+
+    /** Remote read transaction. @return completion tick. */
+    Tick remoteRead(Node &n, const BlockCtx &ctx, Tick t, Cycles &xlat);
+
+    /**
+     * Remote write transaction: upgrade if @p hasData, else
+     * read-exclusive. @return completion tick.
+     */
+    Tick remoteWrite(Node &n, const BlockCtx &ctx, bool hasData, Tick t,
+                     Cycles &xlat);
+
+    /** Page context (ensureResident + protection + pressure gate). */
+    PageInfo &pageFor(VAddr va, RefType type);
+
+    /** Convert a victim line's AM key back to its block VA. */
+    VAddr victimBlockVa(const AmLine &line) const;
+
+    const MachineConfig &cfg_;
+    SchemeTraits traits_;
+    const VAddrLayout &layout_;
+    PageTable &pageTable_;
+    Directory &directory_;
+    Network &network_;
+    std::vector<std::unique_ptr<Node>> &nodes_;
+    Rng rng_;
+    std::function<PageNum(std::uint64_t, PageNum)> swapVictimPicker_;
+
+    /**
+     * Pages with live directory references somewhere up the call
+     * stack (the page of an in-flight access, a page being preloaded,
+     * a block being injected). An emergency swap must never purge
+     * them: their directory pages would be freed under our feet.
+     */
+    std::vector<PageNum> pinned_;
+
+    /** RAII pin for the duration of one stack frame. */
+    class PagePin
+    {
+      public:
+        PagePin(CoherenceEngine &engine, PageNum vpn)
+            : engine_(engine)
+        {
+            engine_.pinned_.push_back(vpn);
+        }
+        ~PagePin() { engine_.pinned_.pop_back(); }
+        PagePin(const PagePin &) = delete;
+        PagePin &operator=(const PagePin &) = delete;
+
+      private:
+        CoherenceEngine &engine_;
+    };
+
+  public:
+    /** True if @p vpn must not be swapped out right now. */
+    bool
+    isPinned(PageNum vpn) const
+    {
+        for (PageNum p : pinned_) {
+            if (p == vpn)
+                return true;
+        }
+        return false;
+    }
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_COMA_PROTOCOL_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the address-decomposition
+ * logic (Figure 6 of the paper) and the cache/TLB indexing code.
+ */
+
+#ifndef VCOMA_COMMON_BITOPS_HH
+#define VCOMA_COMMON_BITOPS_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace vcoma
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+exactLog2(std::uint64_t v)
+{
+    return floorLog2(v);
+}
+
+/** ceil(log2(v)); log2 rounded up for non-powers of two. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** A mask with the low @p n bits set. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/**
+ * Extract bits [first, first+count) of @p v (LSB = bit 0).
+ * @param v     the value to slice
+ * @param first lowest bit of the field
+ * @param count width of the field
+ */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned first, unsigned count)
+{
+    return (v >> first) & mask(count);
+}
+
+/** Round @p v up to the next multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+} // namespace vcoma
+
+#endif // VCOMA_COMMON_BITOPS_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom: panic() for internal
+ * simulator bugs (aborts), fatal() for user/configuration errors
+ * (clean exit), warn()/inform() for status messages.
+ */
+
+#ifndef VCOMA_COMMON_LOGGING_HH
+#define VCOMA_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vcoma
+{
+
+/** Thrown by panic(): a condition that indicates a simulator bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(): a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal inconsistency that should never happen regardless
+ * of configuration. Throws PanicError so tests can assert on it.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError("panic: " + detail::concat(args...));
+}
+
+/**
+ * Report a condition caused by bad user input (configuration,
+ * arguments) that prevents the simulation from continuing.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError("fatal: " + detail::concat(args...));
+}
+
+/** Warn about suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::fprintf(stderr, "warn: %s\n", detail::concat(args...).c_str());
+}
+
+/** Plain status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::fprintf(stderr, "info: %s\n", detail::concat(args...).c_str());
+}
+
+/** panic() unless @p cond holds. */
+#define VCOMA_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::vcoma::panic("assertion failed: ", #cond, " ", __FILE__,     \
+                           ":", __LINE__);                                 \
+    } while (0)
+
+} // namespace vcoma
+
+#endif // VCOMA_COMMON_LOGGING_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * The paper uses random replacement for the fully associative TLB/DLB
+ * and random forwarding for block injection. Simulation results must
+ * be reproducible run-to-run, so every component that needs randomness
+ * owns one of these seeded generators instead of sharing global state.
+ */
+
+#ifndef VCOMA_COMMON_RNG_HH
+#define VCOMA_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace vcoma
+{
+
+/**
+ * SplitMix64-seeded xorshift* generator. Small, fast, deterministic,
+ * and adequate for replacement-victim selection.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 step to avoid weak (e.g. zero) seeds.
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        state_ = z ^ (z >> 31);
+        if (state_ == 0)
+            state_ = 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform value in [0, bound); @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_COMMON_RNG_HH

@@ -1,0 +1,43 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace vcoma
+{
+
+void
+StatGroup::addCounter(const std::string &name, const Counter &c)
+{
+    counters_.emplace_back(name, &c);
+}
+
+void
+StatGroup::addDistribution(const std::string &name, const Distribution &d)
+{
+    dists_.emplace_back(name, &d);
+}
+
+void
+StatGroup::addChild(const StatGroup &child)
+{
+    children_.push_back(&child);
+}
+
+void
+StatGroup::dump(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    os << pad << name_ << ":\n";
+    for (const auto &[name, c] : counters_)
+        os << pad << "  " << name << " = " << c->value() << "\n";
+    for (const auto &[name, d] : dists_) {
+        os << pad << "  " << name << " = {n=" << d->count()
+           << " mean=" << std::fixed << std::setprecision(2) << d->mean()
+           << " min=" << d->min() << " max=" << d->max() << "}\n";
+        os.unsetf(std::ios::floatfield);
+    }
+    for (const auto *child : children_)
+        child->dump(os, indent + 1);
+}
+
+} // namespace vcoma

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Lightweight statistics machinery: named scalar counters and simple
+ * distributions, grouped so components can register and dump their
+ * stats uniformly (in the spirit of the gem5 stats package, scaled to
+ * this project).
+ */
+
+#ifndef VCOMA_COMMON_STATS_HH
+#define VCOMA_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vcoma
+{
+
+/** A named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A running distribution: count, sum, min, max. Enough for latency
+ * and occupancy summaries without storing samples.
+ */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, buckets); values beyond the last
+ * bucket are clamped. Used e.g. for the Figure 11 pressure profile.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets = 0) : buckets_(buckets, 0) {}
+
+    void resize(std::size_t buckets) { buckets_.assign(buckets, 0); }
+
+    void
+    add(std::size_t bucket, std::uint64_t n = 1)
+    {
+        if (buckets_.empty())
+            return;
+        if (bucket >= buckets_.size())
+            bucket = buckets_.size() - 1;
+        buckets_[bucket] += n;
+    }
+
+    std::size_t size() const { return buckets_.size(); }
+    std::uint64_t at(std::size_t i) const { return buckets_.at(i); }
+    const std::vector<std::uint64_t> &data() const { return buckets_; }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+};
+
+/**
+ * A group of named stats a component exposes for dumping. Components
+ * register references; the group never owns the counters.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a scalar counter under @p name. */
+    void addCounter(const std::string &name, const Counter &c);
+    /** Register a distribution under @p name. */
+    void addDistribution(const std::string &name, const Distribution &d);
+    /** Nest a child group. */
+    void addChild(const StatGroup &child);
+
+    /** Pretty-print all registered stats, one per line. */
+    void dump(std::ostream &os, int indent = 0) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, const Counter *>> counters_;
+    std::vector<std::pair<std::string, const Distribution *>> dists_;
+    std::vector<const StatGroup *> children_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_COMMON_STATS_HH

@@ -1,0 +1,81 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    if (!header_.empty() && cells.size() != header_.size())
+        panic("table '", title_, "': row width ", cells.size(),
+              " != header width ", header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i]
+               << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    os << "\n";
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            os << cells[i] << (i + 1 < cells.size() ? "," : "\n");
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+} // namespace vcoma

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A small column-aligned table printer used by the benchmark harness
+ * to emit the paper's tables and figure data series in a readable,
+ * diff-friendly form (plain text; also exportable as CSV).
+ */
+
+#ifndef VCOMA_COMMON_TABLE_HH
+#define VCOMA_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vcoma
+{
+
+/** A text table with a header row and aligned columns. */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers (defines the column count). */
+    void header(std::vector<std::string> cols);
+
+    /** Append a row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 2);
+
+    /** Render as aligned plain text. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    const std::string &title() const { return title_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_COMMON_TABLE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Directory pages (Section 4.2): the directory memory is organised in
+ * pages of contiguous entries, one entry per memory block of the
+ * corresponding data page. In V-COMA the directory page is allocated
+ * and reclaimed by the virtual memory system and plays the role the
+ * pageframe plays in a classical machine (Section 4.3); in the
+ * physical schemes the same layout is simply indexed by the physical
+ * frame.
+ */
+
+#ifndef VCOMA_CORE_DIRECTORY_PAGE_HH
+#define VCOMA_CORE_DIRECTORY_PAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+/** Directory state for one memory block. */
+struct DirectoryEntry
+{
+    /** Bitmask of nodes holding a valid copy (owner included). */
+    std::uint64_t copyset = 0;
+    /** Node holding the MasterShared/Exclusive copy. */
+    NodeId owner = invalidNode;
+    /** The owner's copy is Exclusive. */
+    bool exclusive = false;
+    /** Global write version, for protocol self-checking. */
+    std::uint32_t version = 0;
+
+    /** Block resident somewhere in the machine. */
+    bool resident() const { return owner != invalidNode; }
+
+    /** Number of valid copies. */
+    unsigned
+    copies() const
+    {
+        return static_cast<unsigned>(__builtin_popcountll(copyset));
+    }
+
+    bool
+    holds(NodeId n) const
+    {
+        return (copyset >> n) & 1;
+    }
+
+    void
+    addCopy(NodeId n)
+    {
+        copyset |= std::uint64_t{1} << n;
+    }
+
+    void
+    dropCopy(NodeId n)
+    {
+        copyset &= ~(std::uint64_t{1} << n);
+    }
+};
+
+/** One directory page: an entry per block of the data page. */
+class DirectoryPage
+{
+  public:
+    explicit DirectoryPage(unsigned entries) : entries_(entries) {}
+
+    DirectoryEntry &
+    entry(std::uint64_t index)
+    {
+        return entries_.at(index);
+    }
+
+    const DirectoryEntry &
+    entry(std::uint64_t index) const
+    {
+        return entries_.at(index);
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<DirectoryEntry> entries_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_CORE_DIRECTORY_PAGE_HH

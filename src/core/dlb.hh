@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The DLB (Directory Lookaside Buffer) of V-COMA: a cache at every
+ * home node that accelerates the translation from virtual address to
+ * *directory address* (Section 4.2, Figure 7). Because it sits behind
+ * the attraction memories of all nodes it enjoys the filtering
+ * effect, and because its entries are shared by every requester it
+ * enjoys the sharing and prefetching effects (Section 5.2).
+ *
+ * The DLB also maintains the page's reference and modify bits
+ * (Section 4.3): the reference bit is set on every directory lookup;
+ * the modify bit is set when a node first acquires exclusive
+ * ownership of any block of the page.
+ */
+
+#ifndef VCOMA_CORE_DLB_HH
+#define VCOMA_CORE_DLB_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.hh"
+#include "tlb/tlb.hh"
+#include "vm/page_table.hh"
+
+namespace vcoma
+{
+
+/** One home node's DLB. */
+class Dlb
+{
+  public:
+    /**
+     * @param entries entry count
+     * @param assoc   0 = fully associative
+     * @param seed    random-replacement seed
+     */
+    Dlb(unsigned entries, unsigned assoc, std::uint64_t seed,
+        unsigned indexShift = 0)
+        : tlb_(entries, assoc, seed, indexShift)
+    {
+    }
+
+    /**
+     * Translate @p vpn for a directory lookup, filling on miss, and
+     * maintain the page's reference/modify bits.
+     *
+     * @param page       the page-table entry being translated
+     * @param exclusiveRequest the transaction asks for exclusive
+     *        ownership (sets the modify bit, Section 4.3)
+     * @param cls        demand vs write-back/injection stream class
+     * @return true on DLB hit.
+     */
+    bool
+    access(PageInfo &page, bool exclusiveRequest, StreamClass cls)
+    {
+        const bool hit = tlb_.access(page.vpn, cls);
+        if (!page.referenced) {
+            page.referenced = true;
+            ++refBitSets;
+        }
+        if (exclusiveRequest && !page.modified) {
+            page.modified = true;
+            ++modBitSets;
+        }
+        return hit;
+    }
+
+    /** Shoot down the entry for @p vpn (page swap-out, Section 4.3). */
+    bool invalidate(PageNum vpn) { return tlb_.invalidate(vpn); }
+
+    const Tlb &tlb() const { return tlb_; }
+
+    Counter refBitSets;
+    Counter modBitSets;
+
+  private:
+    Tlb tlb_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_CORE_DLB_HH

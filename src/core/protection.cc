@@ -1,0 +1,62 @@
+#include "core/protection.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+ProtectionManager::ProtectionManager(
+    const MachineConfig &cfg, const VAddrLayout &layout,
+    PageTable &pageTable, Directory &directory, Network &network,
+    std::vector<std::unique_ptr<Node>> &nodes)
+    : cfg_(cfg), layout_(layout), pageTable_(pageTable),
+      directory_(directory), network_(network), nodes_(nodes)
+{
+}
+
+Tick
+ProtectionManager::changeProtection(NodeId requester, PageNum vpn,
+                                    std::uint8_t prot, Tick now)
+{
+    PageInfo *page = pageTable_.find(vpn);
+    if (!page)
+        fatal("protection change on unmapped page, vpn ", vpn);
+
+    // Request travels to the page's home node.
+    Tick t = network_.send(requester, page->home, MsgSize::Request, now);
+    Node &home = *nodes_[page->home];
+    const Tick s = home.pe.acquire(t, cfg_.timing.peOccupancy);
+    t = s + cfg_.timing.directoryLookup;
+
+    // The PE changes the bits in the page table and in the DLB.
+    page->protection = prot;
+    ++changes;
+
+    // Update messages to every node currently holding blocks of the
+    // page, per the directory entries.
+    std::uint64_t holders = 0;
+    if (DirectoryPage *dp = directory_.findPage(vpn)) {
+        for (std::uint64_t i = 0; i < dp->size(); ++i)
+            holders |= dp->entry(i).copyset;
+    }
+    Tick maxAck = t;
+    for (unsigned m = 0; m < cfg_.numNodes; ++m) {
+        if (!((holders >> m) & 1))
+            continue;
+        const Tick ti =
+            network_.send(page->home, m, MsgSize::Request, t);
+        Node &tm = *nodes_[m];
+        const Tick sm = tm.pe.acquire(ti, cfg_.timing.peOccupancy);
+        ++updatesSent;
+        const Tick ack =
+            network_.send(m, page->home, MsgSize::Request, sm + 4);
+        maxAck = std::max(maxAck, ack);
+    }
+
+    // Acknowledge the requester.
+    return network_.send(page->home, requester, MsgSize::Request, maxAck);
+}
+
+} // namespace vcoma

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Page-level protection management for V-COMA (Section 4.3).
+ *
+ * A node that wants to change the protection bits of a page sends a
+ * message to the page's home node. The protocol engine at the home
+ * changes the bits in the page table and in the DLB, then — using the
+ * directory entries — sends update messages to every node currently
+ * holding blocks of the page, and collects acknowledgements.
+ */
+
+#ifndef VCOMA_CORE_PROTECTION_HH
+#define VCOMA_CORE_PROTECTION_HH
+
+#include <memory>
+#include <vector>
+
+#include "coma/directory.hh"
+#include "coma/node.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/vaddr_layout.hh"
+#include "net/network.hh"
+#include "vm/page_table.hh"
+
+namespace vcoma
+{
+
+/** Executes protection-bit changes through the home node. */
+class ProtectionManager
+{
+  public:
+    ProtectionManager(const MachineConfig &cfg, const VAddrLayout &layout,
+                      PageTable &pageTable, Directory &directory,
+                      Network &network,
+                      std::vector<std::unique_ptr<Node>> &nodes);
+
+    /**
+     * Change page @p vpn's protection to @p prot on behalf of node
+     * @p requester, starting at tick @p now.
+     * @return the tick at which all holders have been updated.
+     */
+    Tick changeProtection(NodeId requester, PageNum vpn,
+                          std::uint8_t prot, Tick now);
+
+    /** Update messages sent to block holders. */
+    Counter updatesSent;
+    /** Protection changes executed. */
+    Counter changes;
+
+  private:
+    const MachineConfig &cfg_;
+    const VAddrLayout &layout_;
+    PageTable &pageTable_;
+    Directory &directory_;
+    Network &network_;
+    std::vector<std::unique_ptr<Node>> &nodes_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_CORE_PROTECTION_HH

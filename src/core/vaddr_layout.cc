@@ -1,0 +1,28 @@
+#include "core/vaddr_layout.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+VAddrLayout::VAddrLayout(const MachineConfig &cfg)
+{
+    blockBits_ = exactLog2(cfg.am.blockBytes);
+    setBits_ = exactLog2(cfg.am.numSets());
+    pageBits_ = exactLog2(cfg.pageBytes);
+    nodeBits_ = exactLog2(cfg.numNodes);
+
+    if (blockBits_ + setBits_ < pageBits_) {
+        fatal("attraction memory sets (", cfg.am.numSets(),
+              ") too few: the AM index must extend past the page offset");
+    }
+    colourBits_ = blockBits_ + setBits_ - pageBits_;
+    if (nodeBits_ > colourBits_) {
+        fatal("home-node bits (", nodeBits_, ") exceed colour bits (",
+              colourBits_, "): every global page set must map to a",
+              " single home node");
+    }
+}
+
+} // namespace vcoma

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Virtual-address field decomposition for V-COMA (Figure 6 of the
+ * paper) and the set/global-set geometry shared with L3-TLB
+ * (Figures 3 and 4).
+ *
+ * With S = 2^s attraction-memory sets per node, K = 2^k ways, block
+ * size B = 2^b, P = 2^p nodes and page size N = 2^n:
+ *
+ *  - bits [0, b)        block displacement
+ *  - bits [b, b+s)      attraction-memory set index
+ *  - bits [n, n+p)      home node (p LSBs of the page number)
+ *  - bits [b, n)        entry index within the directory page
+ *                       (the n-b MSBs of the page displacement)
+ *  - bits [n, b+s)      the "colour": which global page set the page
+ *                       belongs to (s+b-n bits); the upper s-p-n+b of
+ *                       them index the page-table set at the home.
+ */
+
+#ifndef VCOMA_CORE_VADDR_LAYOUT_HH
+#define VCOMA_CORE_VADDR_LAYOUT_HH
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+/** Precomputed field geometry for one machine configuration. */
+class VAddrLayout
+{
+  public:
+    explicit VAddrLayout(const MachineConfig &cfg);
+
+    /** @{ @name Field widths (bit counts) */
+    unsigned blockBits() const { return blockBits_; }       ///< b
+    unsigned setBits() const { return setBits_; }           ///< s
+    unsigned pageBits() const { return pageBits_; }         ///< n
+    unsigned nodeBits() const { return nodeBits_; }         ///< p
+    unsigned colourBits() const { return colourBits_; }     ///< s+b-n
+    /** @} */
+
+    /** Virtual page number of @p va. */
+    PageNum vpn(VAddr va) const { return va >> pageBits_; }
+
+    /** First byte of the page containing @p va. */
+    VAddr
+    pageBase(VAddr va) const
+    {
+        return va & ~mask(pageBits_);
+    }
+
+    /** Attraction-memory block-aligned address. */
+    VAddr
+    blockAlign(VAddr va) const
+    {
+        return va & ~mask(blockBits_);
+    }
+
+    /** AM set index of @p va (bits [b, b+s)). */
+    std::uint64_t
+    amSet(VAddr va) const
+    {
+        return bits(va, blockBits_, setBits_);
+    }
+
+    /**
+     * V-COMA home node: the p least significant bits of the page
+     * number (Section 4.2 / Figure 6).
+     */
+    NodeId
+    homeNode(VAddr va) const
+    {
+        return static_cast<NodeId>(bits(va, pageBits_, nodeBits_));
+    }
+
+    /** Home node from a page number instead of a full address. */
+    NodeId
+    homeNodeOfVpn(PageNum vpn) const
+    {
+        return static_cast<NodeId>(vpn & mask(nodeBits_));
+    }
+
+    /**
+     * Colour / global page set index of a page: the bits of the page
+     * number that select AM sets (Figure 3). All blocks of a page
+     * with colour c live in the contiguous global sets of colour c.
+     */
+    std::uint64_t
+    colour(VAddr va) const
+    {
+        return bits(va, pageBits_, colourBits_);
+    }
+
+    std::uint64_t
+    colourOfVpn(PageNum vpn) const
+    {
+        return vpn & mask(colourBits_);
+    }
+
+    /** Number of distinct colours (global page sets). */
+    std::uint64_t numColours() const { return std::uint64_t{1} << colourBits_; }
+
+    /**
+     * Directory-page entry index: which block of its page @p va falls
+     * in (the n-b MSBs of the page displacement, Figure 6).
+     */
+    std::uint64_t
+    dirEntryIndex(VAddr va) const
+    {
+        return bits(va, blockBits_, pageBits_ - blockBits_);
+    }
+
+    /** Entries per directory page == blocks per page. */
+    std::uint64_t
+    entriesPerDirPage() const
+    {
+        return std::uint64_t{1} << (pageBits_ - blockBits_);
+    }
+
+    /**
+     * Page-table set index at the home node: the colour bits above
+     * the home-node bits (s-p-n+b bits, Figure 6). Every page in one
+     * global page set shares a home, so the home's page table is
+     * organised as sets of P*K entries indexed by these bits.
+     */
+    std::uint64_t
+    pageTableSet(VAddr va) const
+    {
+        return bits(va, pageBits_ + nodeBits_, colourBits_ - nodeBits_);
+    }
+
+  private:
+    unsigned blockBits_;
+    unsigned setBits_;
+    unsigned pageBits_;
+    unsigned nodeBits_;
+    unsigned colourBits_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_CORE_VADDR_LAYOUT_HH

@@ -1,0 +1,555 @@
+#include "harness/experiments.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tlb/shadow_bank.hh"
+#include "translation/scheme.hh"
+#include "workloads/workload.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+const std::vector<Scheme> allSchemes{Scheme::L0, Scheme::L1, Scheme::L2,
+                                     Scheme::L3, Scheme::VCOMA};
+
+ExperimentConfig
+missStudyConfig(const std::string &workload, Scheme scheme, double scale)
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.scheme = scheme;
+    cfg.scale = scale;
+    cfg.timedTranslation = false;
+    return cfg;
+}
+
+/** Include the write-back/injection stream where the scheme has one. */
+bool
+schemeCountsWritebacks(Scheme scheme)
+{
+    return scheme == Scheme::L2 || scheme == Scheme::L3 ||
+           scheme == Scheme::VCOMA;
+}
+
+} // namespace
+
+Table
+table1Benchmarks(double scale)
+{
+    Table t("Table 1: Benchmarks (scale=" + Table::num(scale, 2) + ")");
+    t.header({"Benchmark", "Parameters", "Shared Memory (MB)"});
+    WorkloadParams wp;
+    wp.scale = scale;
+    for (const auto &name : paperBenchmarks()) {
+        auto w = makeWorkload(name, wp);
+        t.row({w->name(), w->parameters(),
+               Table::num(static_cast<double>(w->sharedBytes()) /
+                              (1024.0 * 1024.0),
+                          2)});
+    }
+    return t;
+}
+
+std::vector<Table>
+figure8MissCurves(Runner &runner, double scale)
+{
+    std::vector<Table> tables;
+    for (const auto &name : paperBenchmarks()) {
+        Table t("Figure 8 (" + name +
+                "): translation misses per node vs TLB/DLB size");
+        t.header({"size", "L0-TLB", "L1-TLB", "L2-TLB", "L2/no_wback",
+                  "L3-TLB", "V-COMA"});
+        std::vector<const RunStats *> runs;
+        for (Scheme s : allSchemes)
+            runs.push_back(&runner.run(missStudyConfig(name, s, scale)));
+        for (unsigned size : shadowSizes()) {
+            std::vector<std::string> row{std::to_string(size)};
+            for (std::size_t i = 0; i < allSchemes.size(); ++i) {
+                const Scheme s = allSchemes[i];
+                const bool wb = schemeCountsWritebacks(s);
+                row.push_back(Table::num(
+                    runs[i]->missesPerNode(size, 0, wb), 0));
+                if (s == Scheme::L2) {
+                    row.push_back(Table::num(
+                        runs[i]->missesPerNode(size, 0, false), 0));
+                }
+            }
+            t.row(std::move(row));
+        }
+        tables.push_back(std::move(t));
+    }
+    return tables;
+}
+
+Table
+table2MissRates(Runner &runner, double scale)
+{
+    Table t("Table 2: TLB/DLB miss rates per processor reference (%)");
+    std::vector<std::string> header{"SYSTEM"};
+    for (unsigned size : {8u, 32u, 128u}) {
+        for (Scheme s : allSchemes) {
+            header.push_back(schemeName(s) + std::string("/") +
+                             std::to_string(size));
+        }
+    }
+    t.header(header);
+    for (const auto &name : paperBenchmarks()) {
+        std::vector<std::string> row{name};
+        for (unsigned size : {8u, 32u, 128u}) {
+            for (Scheme s : allSchemes) {
+                const RunStats &stats =
+                    runner.run(missStudyConfig(name, s, scale));
+                row.push_back(Table::num(
+                    stats.missRatePct(size, 0,
+                                      schemeCountsWritebacks(s)),
+                    s == Scheme::VCOMA ? 4 : 2));
+            }
+        }
+        t.row(std::move(row));
+    }
+    return t;
+}
+
+namespace
+{
+
+/**
+ * Smallest TLB size whose per-node misses fall at or below @p target,
+ * log-interpolated between the swept sizes; returns <0 for
+ * "beyond the largest swept size".
+ */
+double
+equivalentSize(const RunStats &stats, bool includeWritebacks,
+               double target)
+{
+    const auto &sizes = shadowSizes();
+    double prevSize = 0;
+    double prevMisses = 0;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const double misses =
+            stats.missesPerNode(sizes[i], 0, includeWritebacks);
+        if (misses <= target) {
+            if (i == 0)
+                return sizes[0];
+            // log-linear interpolation between the two sizes.
+            const double f =
+                (std::log(std::max(prevMisses, 1.0)) -
+                 std::log(std::max(target, 1.0))) /
+                std::max(std::log(std::max(prevMisses, 1.0)) -
+                             std::log(std::max(misses, 1.0)),
+                         1e-9);
+            return prevSize +
+                   f * (static_cast<double>(sizes[i]) - prevSize);
+        }
+        prevSize = sizes[i];
+        prevMisses = misses;
+    }
+    return -1.0;
+}
+
+} // namespace
+
+Table
+table3EquivalentSize(Runner &runner, double scale)
+{
+    Table t("Table 3: TLB size equivalent to an 8-entry DLB");
+    t.header({"Benchmark", "L0-TLB", "L1-TLB", "L2-TLB", "L3-TLB",
+              "DLB/8 misses/node"});
+    for (const auto &name : paperBenchmarks()) {
+        const RunStats &vcoma =
+            runner.run(missStudyConfig(name, Scheme::VCOMA, scale));
+        const double target = vcoma.missesPerNode(8, 0, true);
+        std::vector<std::string> row{name};
+        for (Scheme s : {Scheme::L0, Scheme::L1, Scheme::L2, Scheme::L3}) {
+            const RunStats &stats =
+                runner.run(missStudyConfig(name, s, scale));
+            const double eq = equivalentSize(
+                stats, schemeCountsWritebacks(s), target);
+            // ">512" means even the largest swept TLB cannot match
+            // the shared DLB: with scaled-down data sets the DLB's
+            // cold floor (one fill per page machine-wide, thanks to
+            // the prefetching effect) undercuts any private TLB's
+            // per-node cold misses.
+            row.push_back(eq < 0 ? ">512" : Table::num(eq, 0));
+        }
+        row.push_back(Table::num(target, 0));
+        t.row(std::move(row));
+    }
+    return t;
+}
+
+std::vector<Table>
+figure9DirectMapped(Runner &runner, double scale)
+{
+    std::vector<Table> tables;
+    for (const auto &name : paperBenchmarks()) {
+        Table t("Figure 9 (" + name +
+                "): direct-mapped vs fully associative misses per node");
+        std::vector<std::string> header{"size"};
+        for (Scheme s : allSchemes) {
+            header.push_back(schemeName(s) + std::string("/DM"));
+            header.push_back(schemeName(s));
+        }
+        t.header(header);
+        std::vector<const RunStats *> runs;
+        for (Scheme s : allSchemes)
+            runs.push_back(&runner.run(missStudyConfig(name, s, scale)));
+        for (unsigned size : shadowSizes()) {
+            std::vector<std::string> row{std::to_string(size)};
+            for (std::size_t i = 0; i < allSchemes.size(); ++i) {
+                const bool wb = schemeCountsWritebacks(allSchemes[i]);
+                row.push_back(Table::num(
+                    runs[i]->missesPerNode(size, 1, wb), 0));
+                row.push_back(Table::num(
+                    runs[i]->missesPerNode(size, 0, wb), 0));
+            }
+            t.row(std::move(row));
+        }
+        tables.push_back(std::move(t));
+    }
+    return tables;
+}
+
+namespace
+{
+
+ExperimentConfig
+timedConfig(const std::string &workload, Scheme scheme, unsigned entries,
+            unsigned assoc, double scale, bool v2 = false)
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.scheme = scheme;
+    cfg.tlbEntries = entries;
+    cfg.tlbAssoc = assoc;
+    cfg.timedTranslation = true;
+    cfg.scale = scale;
+    cfg.raytraceV2 = v2;
+    return cfg;
+}
+
+} // namespace
+
+Table
+table4StallShare(Runner &runner, double scale)
+{
+    Table t("Table 4: address translation time / total stall time (%)");
+    std::vector<std::string> header{"Config"};
+    for (const auto &name : paperBenchmarks())
+        header.push_back(name);
+    t.header(header);
+    struct Row
+    {
+        const char *label;
+        Scheme scheme;
+        unsigned entries;
+    };
+    const Row rows[] = {
+        {"L0-TLB/8", Scheme::L0, 8},
+        {"DLB/8", Scheme::VCOMA, 8},
+        {"L0-TLB/16", Scheme::L0, 16},
+        {"DLB/16", Scheme::VCOMA, 16},
+    };
+    for (const Row &r : rows) {
+        std::vector<std::string> row{r.label};
+        for (const auto &name : paperBenchmarks()) {
+            const RunStats &stats = runner.run(
+                timedConfig(name, r.scheme, r.entries, 0, scale));
+            row.push_back(Table::num(stats.xlatOverTotalStallPct(), 2));
+        }
+        t.row(std::move(row));
+    }
+    return t;
+}
+
+std::vector<Table>
+figure10ExecTime(Runner &runner, double scale)
+{
+    std::vector<Table> tables;
+    for (const auto &name : paperBenchmarks()) {
+        Table t("Figure 10 (" + name +
+                "): execution time breakdown (% of TLB/8 total)");
+        t.header({"Config", "busy", "sync", "loc-stall", "rem-stall",
+                  "xlat", "total"});
+
+        struct Variant
+        {
+            std::string label;
+            Scheme scheme;
+            unsigned assoc;
+            bool v2;
+        };
+        std::vector<Variant> variants{
+            {"TLB/8", Scheme::L0, 0, false},
+            {"TLB/8/DM", Scheme::L0, 1, false},
+            {"DLB/8", Scheme::VCOMA, 0, false},
+            {"DLB/8/DM", Scheme::VCOMA, 1, false},
+        };
+        if (name == "RAYTRACE")
+            variants.push_back({"DLB/8/V2", Scheme::VCOMA, 0, true});
+
+        // RAYTRACE distributes tiles through a central work queue, so
+        // its timing is run-to-run sensitive; average over seeds.
+        const std::vector<std::uint64_t> seeds =
+            name == "RAYTRACE" ? std::vector<std::uint64_t>{1, 2, 3}
+                               : std::vector<std::uint64_t>{1};
+
+        double baseTotal = 0;
+        for (const auto &v : variants) {
+            double busy = 0;
+            double sync = 0;
+            double loc = 0;
+            double rem = 0;
+            double xlat = 0;
+            for (std::uint64_t seed : seeds) {
+                ExperimentConfig cfg = timedConfig(
+                    name, v.scheme, 8, v.assoc, scale, v.v2);
+                cfg.seed = seed;
+                const RunStats &stats = runner.run(cfg);
+                busy += static_cast<double>(stats.totalBusy());
+                sync += static_cast<double>(stats.totalSync());
+                loc += static_cast<double>(stats.totalLocStall());
+                rem += static_cast<double>(stats.totalRemStall());
+                xlat += static_cast<double>(stats.totalXlatStall());
+            }
+            const double n = static_cast<double>(seeds.size());
+            busy /= n;
+            sync /= n;
+            loc /= n;
+            rem /= n;
+            xlat /= n;
+            const double total = busy + sync + loc + rem + xlat;
+            if (baseTotal == 0)
+                baseTotal = total;
+            auto pct = [&](double v2x) {
+                return Table::num(100.0 * v2x / baseTotal, 1);
+            };
+            t.row({v.label, pct(busy), pct(sync), pct(loc), pct(rem),
+                   pct(xlat), pct(total)});
+        }
+        tables.push_back(std::move(t));
+    }
+    return tables;
+}
+
+std::vector<Table>
+figure11Pressure(Runner &runner, double scale)
+{
+    std::vector<Table> tables;
+    for (const auto &name : paperBenchmarks()) {
+        const RunStats &stats =
+            runner.run(missStudyConfig(name, Scheme::VCOMA, scale));
+        Table t("Figure 11 (" + name +
+                "): pressure profile over global page sets");
+        t.header({"set group", "mean pressure", "max pressure"});
+        const auto &profile = stats.pressureProfile;
+        const std::size_t groups = 16;
+        const std::size_t per =
+            std::max<std::size_t>(1, profile.size() / groups);
+        for (std::size_t g = 0; g < groups && g * per < profile.size();
+             ++g) {
+            double sum = 0;
+            double mx = 0;
+            std::size_t n = 0;
+            for (std::size_t i = g * per;
+                 i < std::min((g + 1) * per, profile.size()); ++i) {
+                sum += profile[i];
+                mx = std::max(mx, profile[i]);
+                ++n;
+            }
+            t.row({std::to_string(g * per) + "-" +
+                       std::to_string(g * per + n - 1),
+                   Table::num(sum / n, 4), Table::num(mx, 4)});
+        }
+        // Whole-profile summary row.
+        double sum = 0;
+        double mx = 0;
+        for (double v : profile) {
+            sum += v;
+            mx = std::max(mx, v);
+        }
+        t.row({"ALL", Table::num(sum / profile.size(), 4),
+               Table::num(mx, 4)});
+        tables.push_back(std::move(t));
+    }
+    return tables;
+}
+
+Table
+tagOverheadTable()
+{
+    Table t("Section 6: virtual-tag memory overhead of V-COMA");
+    t.header({"block size (B)", "extra tag 2B (%)", "extra tag 3B (%)"});
+    for (unsigned block : {32u, 64u, 128u}) {
+        t.row({std::to_string(block),
+               Table::num(100.0 * virtualTagOverhead(block, 2), 2),
+               Table::num(100.0 * virtualTagOverhead(block, 3), 2)});
+    }
+    return t;
+}
+
+Table
+injectionBehaviour(Runner &runner, double scale)
+{
+    Table t("Ablation: injection behaviour under V-COMA");
+    t.header({"Benchmark", "injections", "hops", "hops/injection",
+              "shared drops", "swap-outs"});
+    for (const auto &name : paperBenchmarks()) {
+        const RunStats &stats =
+            runner.run(missStudyConfig(name, Scheme::VCOMA, scale));
+        const double perInj =
+            stats.injections
+                ? static_cast<double>(stats.injectionHops) /
+                      stats.injections
+                : 0.0;
+        t.row({name, std::to_string(stats.injections),
+               std::to_string(stats.injectionHops),
+               Table::num(perInj, 2), std::to_string(stats.sharedDrops),
+               std::to_string(stats.swapOuts)});
+    }
+    return t;
+}
+
+Table
+dlbScaling(Runner &runner, double scale)
+{
+    Table t("Ablation: DLB sharing effect vs machine size (RADIX)");
+    t.header({"nodes", "DLB/8 miss rate (%)", "L3-TLB/8 miss rate (%)"});
+    for (unsigned nodes : {8u, 16u, 32u, 64u}) {
+        ExperimentConfig base = missStudyConfig("RADIX", Scheme::VCOMA,
+                                                scale);
+        base.nodes = nodes;
+        const RunStats &vcoma = runner.run(base);
+        ExperimentConfig l3 = missStudyConfig("RADIX", Scheme::L3,
+                                              scale);
+        l3.nodes = nodes;
+        const RunStats &l3Stats = runner.run(l3);
+        t.row({std::to_string(nodes),
+               Table::num(vcoma.missRatePct(8, 0, true), 4),
+               Table::num(l3Stats.missRatePct(8, 0, true), 4)});
+    }
+    return t;
+}
+
+
+Table
+softwareManagedTranslation(Runner &runner, double scale)
+{
+    // A software trap + table walk costs far more than a hardware
+    // refill; Jacob & Mudge report tens to hundreds of cycles.
+    constexpr Cycles softwareTrap = 200;
+
+    Table t("Ablation: software-managed translation as a 0-entry "
+            "L2-TLB (trap cost " + std::to_string(softwareTrap) +
+            " cycles) vs hardware L2-TLBs");
+    t.header({"Benchmark", "traps per 1k refs",
+              "SW xlat cycles/ref", "HW/8 xlat cycles/ref",
+              "SW exec / HW-32 exec"});
+    for (const auto &name : paperBenchmarks()) {
+        ExperimentConfig sw =
+            timedConfig(name, Scheme::L2, 0, 0, scale);
+        sw.xlatPenalty = softwareTrap;
+        const RunStats &swStats = runner.run(sw);
+        const RunStats &hw8 =
+            runner.run(timedConfig(name, Scheme::L2, 8, 0, scale));
+        const RunStats &hw32 =
+            runner.run(timedConfig(name, Scheme::L2, 32, 0, scale));
+
+        const double traps =
+            1000.0 * static_cast<double>(swStats.tlbMisses) /
+            swStats.totalRefs();
+        const double swPerRef =
+            static_cast<double>(swStats.totalXlatStall()) /
+            swStats.totalRefs();
+        const double hwPerRef =
+            static_cast<double>(hw8.totalXlatStall()) /
+            hw8.totalRefs();
+        t.row({name, Table::num(traps, 1), Table::num(swPerRef, 2),
+               Table::num(hwPerRef, 2),
+               Table::num(static_cast<double>(swStats.execTime) /
+                              hw32.execTime,
+                          3)});
+    }
+    return t;
+}
+
+Table
+amAssociativity(Runner &runner, double scale)
+{
+    Table t("Ablation: attraction-memory associativity under V-COMA "
+            "(RAYTRACE)");
+    t.header({"assoc", "global-set capacity", "exec time", "injections",
+              "shared drops", "max pressure"});
+    for (unsigned assoc : {1u, 2u, 4u, 8u}) {
+        ExperimentConfig cfg =
+            timedConfig("RAYTRACE", Scheme::VCOMA, 8, 0, scale);
+        cfg.amAssoc = assoc;
+        const RunStats &stats = runner.run(cfg);
+        double maxPressure = 0;
+        for (double v : stats.pressureProfile)
+            maxPressure = std::max(maxPressure, v);
+        t.row({std::to_string(assoc),
+               std::to_string(32 * assoc),
+               std::to_string(stats.execTime),
+               std::to_string(stats.injections),
+               std::to_string(stats.sharedDrops),
+               Table::num(maxPressure, 4)});
+    }
+    return t;
+}
+
+Table
+translationCostSensitivity(Runner &runner, double scale)
+{
+    Table t("Ablation: sensitivity to the translation-miss service "
+            "time (RADIX exec time, millions of cycles)");
+    t.header({"miss service (cycles)", "L0-TLB/8", "V-COMA DLB/8"});
+    for (Cycles penalty : {20u, 40u, 80u, 160u}) {
+        std::vector<std::string> row{std::to_string(penalty)};
+        for (Scheme s : {Scheme::L0, Scheme::VCOMA}) {
+            ExperimentConfig cfg =
+                timedConfig("RADIX", s, 8, 0, scale);
+            cfg.xlatPenalty = penalty;
+            const RunStats &stats = runner.run(cfg);
+            row.push_back(Table::num(
+                static_cast<double>(stats.execTime) / 1e6, 2));
+        }
+        t.row(std::move(row));
+    }
+    return t;
+}
+
+Table
+layoutPressure(Runner &runner, double scale)
+{
+    Table t("Ablation: virtual-layout pressure on the global page "
+            "sets (V-COMA)");
+    t.header({"layout", "mean pressure", "max pressure", "max/mean",
+              "swap-outs"});
+    for (const char *name : {"UNIFORM", "HOTSPOT"}) {
+        ExperimentConfig cfg;
+        cfg.workload = name;
+        cfg.scheme = Scheme::VCOMA;
+        cfg.scale = scale;
+        cfg.timedTranslation = false;
+        const RunStats &stats = runner.run(cfg);
+        double sum = 0;
+        double mx = 0;
+        for (double v : stats.pressureProfile) {
+            sum += v;
+            mx = std::max(mx, v);
+        }
+        const double mean = sum / stats.pressureProfile.size();
+        t.row({name, Table::num(mean, 4), Table::num(mx, 4),
+               Table::num(mean > 0 ? mx / mean : 0, 1),
+               std::to_string(stats.swapOuts)});
+    }
+    return t;
+}
+
+} // namespace vcoma

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Generators for every table and figure of the paper's evaluation
+ * (Section 5) plus the Section 6 discussion artefacts. Each function
+ * drives the Runner (which caches simulations) and renders the same
+ * rows/series the paper reports.
+ */
+
+#ifndef VCOMA_HARNESS_EXPERIMENTS_HH
+#define VCOMA_HARNESS_EXPERIMENTS_HH
+
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/runner.hh"
+
+namespace vcoma
+{
+
+/** Table 1: benchmark parameters and shared-memory footprints. */
+Table table1Benchmarks(double scale);
+
+/**
+ * Figure 8: number of address-translation misses per node vs TLB/DLB
+ * size, one table per benchmark; columns L0..V-COMA plus
+ * L2/no_wback.
+ */
+std::vector<Table> figure8MissCurves(Runner &runner, double scale);
+
+/** Table 2: TLB/DLB miss rates per processor reference (%). */
+Table table2MissRates(Runner &runner, double scale);
+
+/** Table 3: TLB size equivalent to an 8-entry DLB. */
+Table table3EquivalentSize(Runner &runner, double scale);
+
+/**
+ * Figure 9: direct-mapped vs fully associative TLB/DLB miss counts
+ * per node, one table per benchmark.
+ */
+std::vector<Table> figure9DirectMapped(Runner &runner, double scale);
+
+/** Table 4: address translation time / total stall time (%). */
+Table table4StallShare(Runner &runner, double scale);
+
+/**
+ * Figure 10: execution-time breakdown (busy/sync/loc/rem/xlat) for
+ * TLB/8, TLB/8/DM, DLB/8, DLB/8/DM (plus DLB/8/V2 for RAYTRACE),
+ * normalised to TLB/8.
+ */
+std::vector<Table> figure10ExecTime(Runner &runner, double scale);
+
+/** Figure 11: pressure profile across the global page sets. */
+std::vector<Table> figure11Pressure(Runner &runner, double scale);
+
+/** Section 6: virtual-tag memory overhead vs block size. */
+Table tagOverheadTable();
+
+/**
+ * Ablation: injection with the paper's random-forwarding ring vs a
+ * home-only policy is not separately configurable at run time, so
+ * this reports the measured injection behaviour (hops, swaps) per
+ * benchmark under V-COMA.
+ */
+Table injectionBehaviour(Runner &runner, double scale);
+
+/** Ablation: DLB sharing effect vs node count (Section 6 scaling). */
+Table dlbScaling(Runner &runner, double scale);
+
+/**
+ * Ablation: software-managed translation (Jacob & Mudge [15]) seen as
+ * a 0-entry L2-TLB that traps on every SLC miss, against hardware
+ * L2-TLBs (Section 3.3's observation).
+ */
+Table softwareManagedTranslation(Runner &runner, double scale);
+
+/**
+ * Ablation: attraction-memory associativity. Lower associativity
+ * shrinks each global page set and stresses the injection protocol
+ * and the page daemon (Section 6's discussion of set-associative
+ * memory mappings).
+ */
+Table amAssociativity(Runner &runner, double scale);
+
+/**
+ * Ablation: sensitivity to the translation-miss service time. The
+ * classic TLB pays it on the critical path of every miss; V-COMA's
+ * DLB pays it so rarely the execution time barely moves.
+ */
+Table translationCostSensitivity(Runner &runner, double scale);
+
+/**
+ * Ablation: virtual-layout pressure (Section 6). Sequential layouts
+ * spread pages uniformly over the global page sets "without even
+ * trying"; an adversarial layout that aligns every allocation to
+ * numColours pages concentrates them on one colour and forces the
+ * page daemon to swap.
+ */
+Table layoutPressure(Runner &runner, double scale);
+
+} // namespace vcoma
+
+#endif // VCOMA_HARNESS_EXPERIMENTS_HH

@@ -1,0 +1,247 @@
+#include "harness/runner.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/machine.hh"
+#include "translation/system_builder.hh"
+#include "workloads/workload.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+constexpr const char *cacheMagic = "vcoma-cache-v3";
+
+} // namespace
+
+std::string
+ExperimentConfig::key() const
+{
+    std::ostringstream os;
+    os << workload << "-" << schemeName(scheme) << "-e" << tlbEntries
+       << "-a" << tlbAssoc << "-t" << timedTranslation << "-w"
+       << writebacksAccessTlb << "-v2_" << raytraceV2 << "-n" << nodes
+       << "-s" << scale << "-r" << seed << "-k" << amAssoc << "-p"
+       << xlatPenalty;
+    return os.str();
+}
+
+Runner::Runner(std::string cacheDir) : cacheDir_(std::move(cacheDir))
+{
+    if (!cacheDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cacheDir_, ec);
+        if (ec) {
+            warn("cannot create cache dir '", cacheDir_,
+                 "': caching disabled");
+            cacheDir_.clear();
+        }
+    }
+}
+
+double
+Runner::envScale()
+{
+    if (const char *s = std::getenv("VCOMA_SCALE")) {
+        const double v = std::atof(s);
+        if (v > 0)
+            return v;
+    }
+    return 1.0;
+}
+
+std::string
+Runner::defaultCacheDir()
+{
+    if (const char *s = std::getenv("VCOMA_NO_CACHE")) {
+        if (s[0] == '1')
+            return "";
+    }
+    if (const char *s = std::getenv("VCOMA_CACHE_DIR"))
+        return s;
+    return ".vcoma_cache";
+}
+
+const RunStats &
+Runner::run(const ExperimentConfig &cfg)
+{
+    const std::string key = cfg.key();
+    auto it = memo_.find(key);
+    if (it != memo_.end())
+        return it->second;
+
+    RunStats stats;
+    const std::string path = cachePath(cfg);
+    if (!path.empty() && load(path, stats))
+        return memo_.emplace(key, std::move(stats)).first->second;
+
+    stats = execute(cfg);
+    if (!path.empty())
+        store(path, stats);
+    return memo_.emplace(key, std::move(stats)).first->second;
+}
+
+RunStats
+Runner::execute(const ExperimentConfig &cfg)
+{
+    ++executed_;
+    MachineConfig mc = baselineConfig(cfg.scheme, cfg.tlbEntries,
+                                      cfg.tlbAssoc);
+    mc.numNodes = cfg.nodes;
+    mc.timedTranslation = cfg.timedTranslation;
+    mc.translation.writebacksAccessTlb = cfg.writebacksAccessTlb;
+    mc.seed = cfg.seed;
+    mc.am.assoc = cfg.amAssoc;
+    mc.timing.translationMiss = cfg.xlatPenalty;
+
+    WorkloadParams wp;
+    wp.threads = cfg.nodes;
+    wp.scale = cfg.scale;
+    wp.seed = cfg.seed;
+    wp.raytraceV2Layout = cfg.raytraceV2;
+
+    Machine machine(mc);
+    auto workload = makeWorkload(cfg.workload, wp);
+    return machine.run(*workload);
+}
+
+std::string
+Runner::cachePath(const ExperimentConfig &cfg) const
+{
+    if (cacheDir_.empty())
+        return "";
+    return cacheDir_ + "/" + cfg.key() + ".txt";
+}
+
+bool
+Runner::load(const std::string &path, RunStats &stats) const
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string magic;
+    if (!std::getline(in, magic) || magic != cacheMagic)
+        return false;
+
+    std::string line;
+    auto restOf = [](const std::string &l, std::size_t at) {
+        return l.substr(at);
+    };
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "workload") {
+            stats.workload = line.size() > 9 ? restOf(line, 9) : "";
+        } else if (tag == "parameters") {
+            stats.parameters = line.size() > 11 ? restOf(line, 11) : "";
+        } else if (tag == "scheme") {
+            int v;
+            ls >> v;
+            stats.scheme = static_cast<Scheme>(v);
+        } else if (tag == "numNodes") {
+            ls >> stats.numNodes;
+        } else if (tag == "sharedBytes") {
+            ls >> stats.sharedBytes;
+        } else if (tag == "execTime") {
+            ls >> stats.execTime;
+        } else if (tag == "cpu") {
+            CpuStats c;
+            ls >> c.refs >> c.reads >> c.writes >> c.busy >> c.sync >>
+                c.locStall >> c.remStall >> c.xlatStall >> c.finish;
+            stats.cpus.push_back(c);
+        } else if (tag == "shadow") {
+            ShadowPoint p;
+            ls >> p.entries >> p.assoc >> p.demandAccesses >>
+                p.demandMisses >> p.writebackAccesses >>
+                p.writebackMisses;
+            stats.shadow.push_back(p);
+        } else if (tag == "tlb") {
+            ls >> stats.tlbAccesses >> stats.tlbMisses >>
+                stats.tlbWritebackAccesses >> stats.tlbWritebackMisses;
+        } else if (tag == "pressure") {
+            double v;
+            while (ls >> v)
+                stats.pressureProfile.push_back(v);
+        } else if (tag == "caches") {
+            ls >> stats.flcAccesses >> stats.flcMisses >>
+                stats.slcAccesses >> stats.slcMisses >> stats.amHits >>
+                stats.amMisses;
+        } else if (tag == "protocol") {
+            ls >> stats.remoteReads >> stats.remoteWrites >>
+                stats.upgrades >> stats.invalidations >>
+                stats.injections >> stats.injectionHops >>
+                stats.sharedDrops >> stats.pageFaults >>
+                stats.swapOuts >> stats.tlbShootdowns;
+        } else if (tag == "network") {
+            ls >> stats.requestMessages >> stats.blockMessages;
+        } else if (tag == "end") {
+            return true;
+        }
+    }
+    return false;  // truncated file
+}
+
+void
+Runner::store(const std::string &path, const RunStats &stats) const
+{
+    std::ofstream out(path + ".tmp");
+    if (!out)
+        return;
+    out << cacheMagic << "\n";
+    out << "workload " << stats.workload << "\n";
+    out << "parameters " << stats.parameters << "\n";
+    out << "scheme " << static_cast<int>(stats.scheme) << "\n";
+    out << "numNodes " << stats.numNodes << "\n";
+    out << "sharedBytes " << stats.sharedBytes << "\n";
+    out << "execTime " << stats.execTime << "\n";
+    for (const auto &c : stats.cpus) {
+        out << "cpu " << c.refs << " " << c.reads << " " << c.writes
+            << " " << c.busy << " " << c.sync << " " << c.locStall << " "
+            << c.remStall << " " << c.xlatStall << " " << c.finish
+            << "\n";
+    }
+    for (const auto &p : stats.shadow) {
+        out << "shadow " << p.entries << " " << p.assoc << " "
+            << p.demandAccesses << " " << p.demandMisses << " "
+            << p.writebackAccesses << " " << p.writebackMisses << "\n";
+    }
+    out << "tlb " << stats.tlbAccesses << " " << stats.tlbMisses << " "
+        << stats.tlbWritebackAccesses << " " << stats.tlbWritebackMisses
+        << "\n";
+    out << "pressure";
+    for (double v : stats.pressureProfile)
+        out << " " << v;
+    out << "\n";
+    out << "caches " << stats.flcAccesses << " " << stats.flcMisses
+        << " " << stats.slcAccesses << " " << stats.slcMisses << " "
+        << stats.amHits << " " << stats.amMisses << "\n";
+    out << "protocol " << stats.remoteReads << " " << stats.remoteWrites
+        << " " << stats.upgrades << " " << stats.invalidations << " "
+        << stats.injections << " " << stats.injectionHops << " "
+        << stats.sharedDrops << " " << stats.pageFaults << " "
+        << stats.swapOuts << " " << stats.tlbShootdowns << "\n";
+    out << "network " << stats.requestMessages << " "
+        << stats.blockMessages << "\n";
+    out << "end\n";
+    out.close();
+    std::error_code ec;
+    std::filesystem::rename(path + ".tmp", path, ec);
+}
+
+const std::vector<std::string> &
+paperBenchmarks()
+{
+    static const std::vector<std::string> names{
+        "RADIX", "FFT", "FMM", "RAYTRACE", "BARNES", "OCEAN",
+    };
+    return names;
+}
+
+} // namespace vcoma

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The experiment runner: builds a machine and a workload from an
+ * ExperimentConfig, runs the simulation, and caches the resulting
+ * stats sheet both in memory and on disk so that the benchmark
+ * binaries (one per paper table/figure) can share simulation runs.
+ */
+
+#ifndef VCOMA_HARNESS_RUNNER_HH
+#define VCOMA_HARNESS_RUNNER_HH
+
+#include <map>
+#include <string>
+
+#include "common/config.hh"
+#include "sim/run_stats.hh"
+
+namespace vcoma
+{
+
+/** Everything that identifies one simulation run. */
+struct ExperimentConfig
+{
+    std::string workload = "RADIX";
+    Scheme scheme = Scheme::VCOMA;
+    /** Configured (timed) TLB/DLB geometry. */
+    unsigned tlbEntries = 8;
+    unsigned tlbAssoc = 0;
+    /** Charge translation-miss penalties on the critical path. */
+    bool timedTranslation = false;
+    /** L2-TLB: whether SLC write-backs consult the TLB. */
+    bool writebacksAccessTlb = true;
+    /** RAYTRACE layout variant (Figure 10's DLB/8/V2). */
+    bool raytraceV2 = false;
+    unsigned nodes = 32;
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    /** Attraction-memory associativity (ablations; paper uses 4). */
+    unsigned amAssoc = 4;
+    /** TLB/DLB miss service time (ablations; paper uses 40). */
+    Cycles xlatPenalty = 40;
+
+    /** Stable cache key. */
+    std::string key() const;
+};
+
+/** Runs experiments with in-memory + on-disk caching. */
+class Runner
+{
+  public:
+    /**
+     * @param cacheDir directory for cached results; empty string
+     *        disables the disk cache. Defaults to $VCOMA_CACHE_DIR or
+     *        ".vcoma_cache".
+     */
+    explicit Runner(std::string cacheDir = defaultCacheDir());
+
+    /** Run (or recall) the experiment. */
+    const RunStats &run(const ExperimentConfig &cfg);
+
+    /** Problem scale from $VCOMA_SCALE (default 1.0). */
+    static double envScale();
+
+    /** $VCOMA_CACHE_DIR, or ".vcoma_cache"; $VCOMA_NO_CACHE=1 -> "". */
+    static std::string defaultCacheDir();
+
+    /** Simulations actually executed (not served from cache). */
+    unsigned executed() const { return executed_; }
+
+  private:
+    RunStats execute(const ExperimentConfig &cfg);
+    std::string cachePath(const ExperimentConfig &cfg) const;
+    bool load(const std::string &path, RunStats &stats) const;
+    void store(const std::string &path, const RunStats &stats) const;
+
+    std::string cacheDir_;
+    std::map<std::string, RunStats> memo_;
+    unsigned executed_ = 0;
+};
+
+/** The six paper benchmarks in Table 2's row order. */
+const std::vector<std::string> &paperBenchmarks();
+
+} // namespace vcoma
+
+#endif // VCOMA_HARNESS_RUNNER_HH

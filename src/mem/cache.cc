@@ -1,0 +1,160 @@
+#include "mem/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+Cache::Cache(std::string name, const CacheConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg)
+{
+    cfg_.validate(name_.c_str());
+    blockBits_ = exactLog2(cfg_.blockBytes);
+    setBits_ = exactLog2(cfg_.numSets());
+    lines_.resize(cfg_.numSets() * cfg_.assoc);
+}
+
+std::uint64_t
+Cache::setIndex(VAddr addr) const
+{
+    return bits(addr, blockBits_, setBits_);
+}
+
+VAddr
+Cache::tagOf(VAddr addr) const
+{
+    return addr >> (blockBits_ + setBits_);
+}
+
+Cache::Line *
+Cache::findLine(VAddr addr)
+{
+    const auto set = setIndex(addr);
+    const auto tag = tagOf(addr);
+    Line *base = &lines_[set * cfg_.assoc];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(VAddr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+VAddr
+Cache::lineAddr(std::uint64_t set, const Line &line) const
+{
+    return (line.tag << (blockBits_ + setBits_)) | (set << blockBits_);
+}
+
+CacheAccess
+Cache::access(VAddr addr, RefType type)
+{
+    CacheAccess result;
+    Line *line = findLine(addr);
+
+    if (line) {
+        result.hit = true;
+        line->lastUse = ++useClock_;
+        if (type == RefType::Read) {
+            ++readHits;
+        } else {
+            ++writeHits;
+            if (!cfg_.writeThrough)
+                line->dirty = true;
+        }
+        return result;
+    }
+
+    // Miss.
+    if (type == RefType::Read)
+        ++readMisses;
+    else
+        ++writeMisses;
+
+    const bool allocate =
+        type == RefType::Read || cfg_.writeAllocate;
+    if (!allocate)
+        return result;
+
+    // Choose a victim: an invalid way if one exists, else LRU.
+    const auto set = setIndex(addr);
+    Line *base = &lines_[set * cfg_.assoc];
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    if (victim->valid) {
+        result.victim = lineAddr(set, *victim);
+        result.victimDirty = victim->dirty;
+        if (victim->dirty)
+            ++writebacks;
+    }
+
+    victim->tag = tagOf(addr);
+    victim->valid = true;
+    victim->dirty = type == RefType::Write && !cfg_.writeThrough;
+    victim->lastUse = ++useClock_;
+    result.allocated = true;
+    return result;
+}
+
+bool
+Cache::contains(VAddr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::invalidateBlock(VAddr addr, bool &wasDirty)
+{
+    Line *line = findLine(addr);
+    if (!line)
+        return false;
+    wasDirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    ++invalidations;
+    return true;
+}
+
+unsigned
+Cache::invalidateRange(VAddr addr, std::uint64_t bytes,
+                       unsigned &dirtyVictims)
+{
+    unsigned count = 0;
+    const VAddr first = blockAlign(addr);
+    const VAddr last = addr + bytes;
+    for (VAddr a = first; a < last; a += cfg_.blockBytes) {
+        bool dirty = false;
+        if (invalidateBlock(a, dirty)) {
+            ++count;
+            if (dirty)
+                ++dirtyVictims;
+        }
+    }
+    return count;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+    useClock_ = 0;
+}
+
+} // namespace vcoma

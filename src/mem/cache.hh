@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A generic set-associative cache model used for the FLC and SLC.
+ *
+ * The model is address-space agnostic: callers feed it whichever
+ * address the cache is indexed/tagged with (virtual for the virtual
+ * caches of the L1/L2/L3/V-COMA schemes, physical otherwise). It
+ * tracks presence and dirtiness only — data values live in the
+ * workloads — and reports evictions so the hierarchy can propagate
+ * write-backs and maintain inclusion.
+ */
+
+#ifndef VCOMA_MEM_CACHE_HH
+#define VCOMA_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+/** Result of a cache access. */
+struct CacheAccess
+{
+    /** Did the access hit? */
+    bool hit = false;
+    /**
+     * Was a block allocated for this access (read miss, or write miss
+     * with write-allocate)?
+     */
+    bool allocated = false;
+    /** Block-aligned address of an evicted valid victim, if any. */
+    std::optional<VAddr> victim;
+    /** The victim was dirty: it must be written back below. */
+    bool victimDirty = false;
+};
+
+/**
+ * Set-associative cache with LRU replacement, configurable write
+ * policy (write-through vs write-back) and write-allocation.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name  diagnostic name
+     * @param cfg   geometry and policies
+     */
+    Cache(std::string name, const CacheConfig &cfg);
+
+    /**
+     * Perform a read or write at @p addr.
+     *
+     * Write-through caches never mark blocks dirty (the store is
+     * propagated below by the caller on every write). Write-back
+     * caches mark on write hit and on allocated write miss.
+     */
+    CacheAccess access(VAddr addr, RefType type);
+
+    /** Presence check without LRU update or allocation. */
+    bool contains(VAddr addr) const;
+
+    /**
+     * Invalidate the block containing @p addr if present.
+     * @param wasDirty set to true if the invalidated block was dirty.
+     * @return true if a block was invalidated.
+     */
+    bool invalidateBlock(VAddr addr, bool &wasDirty);
+
+    /**
+     * Invalidate every block of this cache that falls inside
+     * [@p addr, @p addr + @p bytes). Used to maintain inclusion when a
+     * larger block is removed from the level below.
+     * @param dirtyVictims incremented per dirty block invalidated.
+     * @return number of blocks invalidated.
+     */
+    unsigned invalidateRange(VAddr addr, std::uint64_t bytes,
+                             unsigned &dirtyVictims);
+
+    /** Drop all contents and reset LRU state (stats preserved). */
+    void flush();
+
+    /**
+     * Visit every valid block: fn(blockAddr, dirty). Used by the
+     * coherence-invariant checkers in the test suite.
+     */
+    template <typename Fn>
+    void
+    forEachValid(Fn fn) const
+    {
+        for (std::size_t i = 0; i < lines_.size(); ++i) {
+            const Line &line = lines_[i];
+            if (line.valid)
+                fn(lineAddr(i / cfg_.assoc, line), line.dirty);
+        }
+    }
+
+    /** Block-aligned address. */
+    VAddr
+    blockAlign(VAddr addr) const
+    {
+        return addr & ~static_cast<VAddr>(cfg_.blockBytes - 1);
+    }
+
+    const CacheConfig &config() const { return cfg_; }
+    const std::string &name() const { return name_; }
+
+    /** @{ @name Statistics */
+    Counter readHits;
+    Counter readMisses;
+    Counter writeHits;
+    Counter writeMisses;
+    Counter writebacks;
+    Counter invalidations;
+    /** @} */
+
+    /** Total accesses. */
+    std::uint64_t
+    accesses() const
+    {
+        return readHits.value() + readMisses.value() + writeHits.value() +
+               writeMisses.value();
+    }
+
+    /** Total misses. */
+    std::uint64_t
+    misses() const
+    {
+        return readMisses.value() + writeMisses.value();
+    }
+
+  private:
+    struct Line
+    {
+        VAddr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(VAddr addr) const;
+    VAddr tagOf(VAddr addr) const;
+
+    /** Find the way holding @p addr in its set, or nullptr. */
+    Line *findLine(VAddr addr);
+    const Line *findLine(VAddr addr) const;
+
+    /** Reconstruct a block address from a line's tag and set. */
+    VAddr lineAddr(std::uint64_t set, const Line &line) const;
+
+    std::string name_;
+    CacheConfig cfg_;
+    unsigned blockBits_;
+    unsigned setBits_;
+    std::vector<Line> lines_;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_MEM_CACHE_HH

@@ -1,0 +1,56 @@
+#include "net/network.hh"
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+Network::Network(unsigned numNodes, const TimingConfig &timing)
+    : timing_(timing), outPorts_(numNodes), inPorts_(numNodes)
+{
+    if (numNodes == 0)
+        fatal("network needs at least one node");
+}
+
+Cycles
+Network::transferTime(MsgSize size) const
+{
+    return size == MsgSize::Request ? timing_.requestMsg
+                                    : timing_.blockMsg;
+}
+
+Tick
+Network::send(NodeId src, NodeId dst, MsgSize size, Tick t)
+{
+    if (size == MsgSize::Request)
+        ++requestMessages;
+    else
+        ++blockMessages;
+
+    if (src == dst) {
+        // Loopback: the protocol engine talks to itself; no crossbar
+        // traversal and no port occupancy.
+        ++localMessages;
+        return t;
+    }
+
+    const Cycles time = transferTime(size);
+    // The sender's output port streams the message; the receiver's
+    // input port drains it. On an otherwise idle path the message
+    // arrives after one transfer time.
+    const Tick start = outPorts_.at(src).acquire(t, time);
+    const Tick arrive = inPorts_.at(dst).acquire(start + time, 0);
+    queueing.sample(static_cast<double>(arrive - t - time));
+    return arrive;
+}
+
+void
+Network::reset()
+{
+    for (auto &p : outPorts_)
+        p.reset();
+    for (auto &p : inPorts_)
+        p.reset();
+}
+
+} // namespace vcoma

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The interconnect: an 8-bit-wide crossbar clocked at half the
+ * processor frequency (Section 5.1). In processor cycles, an 8-byte
+ * request message occupies its path for 16 cycles and a message
+ * carrying a 128-byte memory block for 272 cycles.
+ *
+ * Contention is modelled with per-port next-free-time reservations:
+ * a message holds the sender's output port and the receiver's input
+ * port for its transfer time; a crossbar imposes no further internal
+ * conflicts. This is the same style of occupancy-based timing used by
+ * the simulation environment the paper builds on (Moga et al. [20]).
+ */
+
+#ifndef VCOMA_NET_NETWORK_HH
+#define VCOMA_NET_NETWORK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+/** A time-shared resource with a next-free-time reservation. */
+class Resource
+{
+  public:
+    /**
+     * Reserve the resource at or after @p t for @p occupancy cycles.
+     * @return the tick at which the reservation starts.
+     */
+    Tick
+    acquire(Tick t, Cycles occupancy)
+    {
+        const Tick start = std::max(t, freeAt_);
+        freeAt_ = start + occupancy;
+        return start;
+    }
+
+    Tick freeAt() const { return freeAt_; }
+    void reset() { freeAt_ = 0; }
+
+  private:
+    Tick freeAt_ = 0;
+};
+
+/** Message payload classes with distinct transfer times. */
+enum class MsgSize : std::uint8_t
+{
+    Request,  ///< 8-byte request / control message (16 cycles)
+    Block,    ///< message carrying a memory block (272 cycles)
+};
+
+/** The crossbar. */
+class Network
+{
+  public:
+    Network(unsigned numNodes, const TimingConfig &timing);
+
+    /**
+     * Transfer a message from @p src to @p dst, first eligible at
+     * tick @p t.
+     * @return the delivery tick at the destination.
+     */
+    Tick send(NodeId src, NodeId dst, MsgSize size, Tick t);
+
+    /** Transfer time of a message class in processor cycles. */
+    Cycles transferTime(MsgSize size) const;
+
+    /** Forget all reservations (new run). */
+    void reset();
+
+    /** @{ @name Statistics */
+    Counter requestMessages;
+    Counter blockMessages;
+    Counter localMessages;  ///< src == dst (no network traversal)
+    Distribution queueing;  ///< cycles spent waiting for ports
+    /** @} */
+
+  private:
+    TimingConfig timing_;
+    std::vector<Resource> outPorts_;
+    std::vector<Resource> inPorts_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_NET_NETWORK_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A minimal C++20 coroutine generator.
+ *
+ * Workload threads are written as ordinary sequential algorithms that
+ * co_yield a MemRef for every shared-memory access; the simulation
+ * kernel pulls from one generator per simulated processor. This keeps
+ * the benchmark kernels readable (they look like the original SPLASH-2
+ * loops) without materialising full traces in memory.
+ */
+
+#ifndef VCOMA_SIM_GENERATOR_HH
+#define VCOMA_SIM_GENERATOR_HH
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace vcoma
+{
+
+/** Lazily-evaluated stream of T values produced by a coroutine. */
+template <typename T>
+class Generator
+{
+  public:
+    struct promise_type
+    {
+        T current{};
+        std::exception_ptr exception;
+
+        Generator
+        get_return_object()
+        {
+            return Generator{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+
+        std::suspend_always
+        yield_value(T value) noexcept
+        {
+            current = std::move(value);
+            return {};
+        }
+
+        void return_void() noexcept {}
+        void unhandled_exception() { exception = std::current_exception(); }
+    };
+
+    Generator() = default;
+
+    explicit Generator(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    Generator(Generator &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {
+    }
+
+    Generator &
+    operator=(Generator &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Generator(const Generator &) = delete;
+    Generator &operator=(const Generator &) = delete;
+
+    ~Generator() { destroy(); }
+
+    /**
+     * Advance the coroutine and return the next value, or nullopt if
+     * the stream is exhausted. Rethrows exceptions escaping the
+     * coroutine body.
+     */
+    std::optional<T>
+    next()
+    {
+        if (!handle_ || handle_.done())
+            return std::nullopt;
+        handle_.resume();
+        if (handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+        if (handle_.done())
+            return std::nullopt;
+        return handle_.promise().current;
+    }
+
+    /** True if the coroutine can still produce values. */
+    bool alive() const { return handle_ && !handle_.done(); }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_SIM_GENERATOR_HH

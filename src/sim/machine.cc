@@ -1,0 +1,355 @@
+#include "sim/machine.hh"
+
+#include <ostream>
+#include <queue>
+
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+#include "sim/sync.hh"
+#include "translation/system_builder.hh"
+
+namespace vcoma
+{
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(validated(cfg)),
+      traits_(schemeTraits(cfg_.translation.scheme)),
+      layout_(cfg_),
+      pressure_(cfg_.numGlobalPageSets(), cfg_.globalPageSetCapacity()),
+      allocator_(makeAllocator(traits_, layout_, pressure_, cfg_.numNodes)),
+      pageTable_(layout_.pageBits(), *allocator_),
+      directory_(static_cast<unsigned>(layout_.entriesPerDirPage())),
+      network_(cfg_.numNodes, cfg_.timing),
+      nodes_(makeNodes(cfg_, traits_)),
+      engine_(cfg_, traits_, layout_, pageTable_, directory_, network_,
+              nodes_),
+      protection_(cfg_, layout_, pageTable_, directory_, network_, nodes_)
+{
+    if (cfg_.numNodes > 64)
+        fatal("copysets are 64-bit masks: at most 64 nodes");
+
+    // Preload pages at their home as they are first touched, and let
+    // the page daemon keep every global set below the pressure
+    // threshold (Section 4.3).
+    pageTable_.onPageResident([this](PageInfo &page) {
+        engine_.preloadPage(page);
+        while (pressure_.pressure(page.colour) > cfg_.pressureThreshold) {
+            const PageNum victim =
+                pickSwapVictim(page.colour, page.vpn);
+            if (victim == CoherenceEngine::noPage)
+                break;
+            engine_.purgePage(victim);
+            pageTable_.swapOut(victim);
+        }
+    });
+
+    engine_.onSwapNeeded([this](std::uint64_t colour, PageNum protect) {
+        return pickSwapVictim(colour, protect);
+    });
+}
+
+PageNum
+Machine::pickSwapVictim(std::uint64_t colour, PageNum protect)
+{
+    // Prefer an unreferenced resident page of the colour (a cheap
+    // clock-style approximation); fall back to any resident page
+    // other than the protected one.
+    PageNum fallback = CoherenceEngine::noPage;
+    for (const auto &[vpn, page] : pageTable_.entries()) {
+        if (!page.resident || page.colour != colour || vpn == protect ||
+            engine_.isPinned(vpn))
+            continue;
+        if (!page.referenced)
+            return vpn;
+        if (fallback == CoherenceEngine::noPage)
+            fallback = vpn;
+    }
+    return fallback;
+}
+
+AccessResult
+Machine::access(CpuId cpu, RefType type, VAddr va, Tick now)
+{
+    return engine_.access(cpu, type, va, now);
+}
+
+RunStats
+Machine::run(Workload &workload)
+{
+    const unsigned numCpus = workload.numThreads();
+    if (numCpus != cfg_.numNodes) {
+        fatal("workload has ", numCpus, " threads but the machine has ",
+              cfg_.numNodes, " nodes");
+    }
+
+    struct Proc
+    {
+        Generator<MemRef> program;
+        Tick readyAt = 0;
+        bool done = false;
+        CpuStats stats;
+    };
+
+    std::vector<Proc> procs(numCpus);
+    for (unsigned i = 0; i < numCpus; ++i)
+        procs[i].program = workload.thread(i);
+
+    SyncManager sync(numCpus, cfg_.timing);
+
+    // Min-heap ordered by (readyAt, cpu) for determinism.
+    using Entry = std::pair<Tick, CpuId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+    for (unsigned i = 0; i < numCpus; ++i)
+        ready.emplace(0, i);
+
+    unsigned live = numCpus;
+
+    // Reference-bit decay daemon (Section 4.1): the protocol engines
+    // periodically clear the page reference bits so the page daemon's
+    // victim choice approximates LRU.
+    const Cycles decayPeriod = cfg_.refBitDecayPeriod;
+    Tick nextDecay = decayPeriod ? decayPeriod : ~Tick{0};
+
+    while (!ready.empty()) {
+        const auto [when, cpu] = ready.top();
+        ready.pop();
+
+        while (when >= nextDecay) {
+            pageTable_.clearReferenceBits();
+            ++refBitDecays_;
+            nextDecay += decayPeriod;
+        }
+        Proc &proc = procs[cpu];
+        VCOMA_ASSERT(!proc.done);
+        VCOMA_ASSERT(when == proc.readyAt);
+
+        auto next = proc.program.next();
+        if (!next) {
+            proc.done = true;
+            proc.stats.finish = proc.readyAt;
+            --live;
+            continue;
+        }
+
+        const MemRef ref = *next;
+        const Cycles work = ref.work * cfg_.busyScale;
+        Tick t = proc.readyAt + work;
+        proc.stats.busy += work;
+
+        switch (ref.kind) {
+          case MemRef::Kind::Mem: {
+            const AccessResult res = engine_.access(cpu, ref.type,
+                                                    ref.vaddr, t);
+            proc.stats.locStall += res.local;
+            proc.stats.remStall += res.remote;
+            proc.stats.xlatStall += res.xlat;
+            ++proc.stats.refs;
+            if (ref.type == RefType::Read)
+                ++proc.stats.reads;
+            else
+                ++proc.stats.writes;
+            proc.readyAt = res.done;
+            ready.emplace(proc.readyAt, cpu);
+            break;
+          }
+          case MemRef::Kind::Barrier: {
+            auto release = sync.arriveBarrier(ref.syncId, cpu, t);
+            if (release) {
+                for (const auto &[waiter, arrived] : release->waiters) {
+                    Proc &wp = procs[waiter];
+                    wp.stats.sync += release->releaseAt - arrived;
+                    wp.readyAt = release->releaseAt;
+                    ready.emplace(wp.readyAt, waiter);
+                }
+            }
+            break;
+          }
+          case MemRef::Kind::LockAcquire: {
+            auto grant = sync.acquireLock(ref.syncId, cpu, t);
+            if (grant) {
+                proc.stats.sync += *grant - t;
+                proc.readyAt = *grant;
+                ready.emplace(proc.readyAt, cpu);
+            }
+            break;
+          }
+          case MemRef::Kind::LockRelease: {
+            auto grant = sync.releaseLock(ref.syncId, cpu, t);
+            proc.readyAt = t;
+            ready.emplace(proc.readyAt, cpu);
+            if (grant) {
+                Proc &wp = procs[grant->cpu];
+                wp.stats.sync += grant->grantedAt - grant->arrivedAt;
+                wp.readyAt = grant->grantedAt;
+                ready.emplace(wp.readyAt, grant->cpu);
+            }
+            break;
+          }
+        }
+    }
+
+    if (sync.parked() != 0 || live != 0) {
+        panic("deadlock: run ended with ", sync.parked(),
+              " parked and ", live, " live processors");
+    }
+
+    Tick execTime = 0;
+    std::vector<CpuStats> cpus;
+    cpus.reserve(numCpus);
+    for (auto &proc : procs) {
+        execTime = std::max(execTime, proc.stats.finish);
+        cpus.push_back(proc.stats);
+    }
+    return collect(workload, std::move(cpus), execTime);
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    StatGroup root("machine");
+
+    StatGroup protocol("protocol");
+    protocol.addCounter("remoteReads", engine_.remoteReads);
+    protocol.addCounter("remoteWrites", engine_.remoteWrites);
+    protocol.addCounter("upgrades", engine_.upgrades);
+    protocol.addCounter("readForwards", engine_.readForwards);
+    protocol.addCounter("invalidationsSent", engine_.invalidationsSent);
+    protocol.addCounter("injections", engine_.injections);
+    protocol.addCounter("injectionHops", engine_.injectionHops);
+    protocol.addCounter("injectionSwaps", engine_.injectionSwaps);
+    protocol.addCounter("sharedDrops", engine_.sharedDrops);
+    protocol.addCounter("writebackMerges", engine_.writebackMerges);
+    protocol.addCounter("tlbShootdowns", engine_.tlbShootdowns);
+    protocol.addCounter("protectionFaults", engine_.protectionFaults);
+    root.addChild(protocol);
+
+    StatGroup net("network");
+    net.addCounter("requestMessages", network_.requestMessages);
+    net.addCounter("blockMessages", network_.blockMessages);
+    net.addCounter("localMessages", network_.localMessages);
+    net.addDistribution("queueing", network_.queueing);
+    root.addChild(net);
+
+    StatGroup vm("vm");
+    vm.addCounter("pageFaults", pageTable_.pageFaults);
+    vm.addCounter("pageReloads", pageTable_.pageReloads);
+    vm.addCounter("swapOuts", pageTable_.swapOuts);
+    vm.addCounter("pressureOverflows", pressure_.overflows);
+    vm.addCounter("refBitDecays", refBitDecays_);
+    root.addChild(vm);
+
+    std::vector<StatGroup> nodeGroups;
+    nodeGroups.reserve(nodes_.size());
+    for (const auto &nodePtr : nodes_) {
+        const Node &n = *nodePtr;
+        StatGroup group("node" + std::to_string(n.id));
+        group.addCounter("flc.readHits", n.flc.readHits);
+        group.addCounter("flc.readMisses", n.flc.readMisses);
+        group.addCounter("flc.writeHits", n.flc.writeHits);
+        group.addCounter("flc.writeMisses", n.flc.writeMisses);
+        group.addCounter("slc.readHits", n.slc.readHits);
+        group.addCounter("slc.readMisses", n.slc.readMisses);
+        group.addCounter("slc.writebacks", n.slc.writebacks);
+        group.addCounter("am.hits", n.am.hits);
+        group.addCounter("am.misses", n.am.misses);
+        group.addCounter("am.installs", n.am.installs);
+        group.addCounter("am.invalidations", n.am.invalidations);
+        group.addCounter("injectionsIssued", n.injectionsIssued);
+        group.addCounter("injectionsAccepted", n.injectionsAccepted);
+        group.addCounter("invalsReceived", n.invalsReceived);
+        if (n.tlb) {
+            group.addCounter("tlb.demandAccesses",
+                             n.tlb->demandAccesses);
+            group.addCounter("tlb.demandMisses", n.tlb->demandMisses);
+        }
+        if (n.dlb) {
+            group.addCounter("dlb.demandAccesses",
+                             n.dlb->tlb().demandAccesses);
+            group.addCounter("dlb.demandMisses",
+                             n.dlb->tlb().demandMisses);
+            group.addCounter("dlb.refBitSets", n.dlb->refBitSets);
+            group.addCounter("dlb.modBitSets", n.dlb->modBitSets);
+        }
+        nodeGroups.push_back(std::move(group));
+    }
+    for (const auto &group : nodeGroups)
+        root.addChild(group);
+
+    root.dump(os);
+}
+
+RunStats
+Machine::collect(Workload &workload, std::vector<CpuStats> cpus,
+                 Tick execTime)
+{
+    RunStats stats;
+    stats.workload = workload.name();
+    stats.parameters = workload.parameters();
+    stats.scheme = cfg_.translation.scheme;
+    stats.numNodes = cfg_.numNodes;
+    stats.sharedBytes = workload.sharedBytes();
+    stats.cpus = std::move(cpus);
+    stats.execTime = execTime;
+
+    // Aggregate the shadow banks across nodes.
+    for (unsigned entries : shadowSizes()) {
+        for (unsigned assoc : {0u, 1u}) {
+            ShadowPoint point;
+            point.entries = entries;
+            point.assoc = assoc;
+            for (const auto &nodePtr : nodes_) {
+                const Tlb *tlb = nodePtr->shadow.find(entries, assoc);
+                VCOMA_ASSERT(tlb != nullptr);
+                point.demandAccesses += tlb->demandAccesses.value();
+                point.demandMisses += tlb->demandMisses.value();
+                point.writebackAccesses += tlb->writebackAccesses.value();
+                point.writebackMisses += tlb->writebackMisses.value();
+            }
+            stats.shadow.push_back(point);
+        }
+    }
+
+    for (const auto &nodePtr : nodes_) {
+        const Node &n = *nodePtr;
+        stats.flcAccesses += n.flc.accesses();
+        stats.flcMisses += n.flc.misses();
+        stats.slcAccesses += n.slc.accesses();
+        stats.slcMisses += n.slc.misses();
+        stats.amHits += n.am.hits.value();
+        stats.amMisses += n.am.misses.value();
+        if (n.tlb) {
+            stats.tlbAccesses += n.tlb->demandAccesses.value();
+            stats.tlbMisses += n.tlb->demandMisses.value();
+            stats.tlbWritebackAccesses += n.tlb->writebackAccesses.value();
+            stats.tlbWritebackMisses += n.tlb->writebackMisses.value();
+        }
+        if (n.dlb) {
+            stats.tlbAccesses += n.dlb->tlb().demandAccesses.value();
+            stats.tlbMisses += n.dlb->tlb().demandMisses.value();
+            stats.tlbWritebackAccesses +=
+                n.dlb->tlb().writebackAccesses.value();
+            stats.tlbWritebackMisses +=
+                n.dlb->tlb().writebackMisses.value();
+        }
+    }
+
+    stats.pressureProfile = pressure_.profile();
+
+    stats.remoteReads = engine_.remoteReads.value();
+    stats.remoteWrites = engine_.remoteWrites.value();
+    stats.upgrades = engine_.upgrades.value();
+    stats.invalidations = engine_.invalidationsSent.value();
+    stats.injections = engine_.injections.value();
+    stats.injectionHops = engine_.injectionHops.value();
+    stats.sharedDrops = engine_.sharedDrops.value();
+    stats.pageFaults = pageTable_.pageFaults.value();
+    stats.swapOuts = pageTable_.swapOuts.value();
+    stats.tlbShootdowns = engine_.tlbShootdowns.value();
+
+    stats.requestMessages = network_.requestMessages.value();
+    stats.blockMessages = network_.blockMessages.value();
+    return stats;
+}
+
+} // namespace vcoma

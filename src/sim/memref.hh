@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The event vocabulary emitted by workload threads: shared-memory
+ * references, synchronisation events and interleaved busy time.
+ *
+ * Following the paper's methodology (Section 5.1) only *shared* data
+ * accesses are simulated; instruction fetches and private accesses
+ * appear as busy cycles attached to the next event.
+ */
+
+#ifndef VCOMA_SIM_MEMREF_HH
+#define VCOMA_SIM_MEMREF_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+/** One event in a simulated thread's execution stream. */
+struct MemRef
+{
+    /** What kind of event this is. */
+    enum class Kind : std::uint8_t
+    {
+        Mem,          ///< shared-memory read or write at @ref vaddr
+        Barrier,      ///< global barrier identified by @ref syncId
+        LockAcquire,  ///< acquire lock @ref syncId
+        LockRelease,  ///< release lock @ref syncId
+    };
+
+    Kind kind = Kind::Mem;
+    /** Read or write (Kind::Mem only). */
+    RefType type = RefType::Read;
+    /** Virtual address of the access (Kind::Mem only). */
+    VAddr vaddr = 0;
+    /** Busy (compute) cycles preceding this event. */
+    std::uint32_t work = 0;
+    /** Barrier or lock identifier (synchronisation kinds only). */
+    std::uint32_t syncId = 0;
+
+    /** Convenience constructors. */
+    static MemRef
+    read(VAddr a, std::uint32_t work = 1)
+    {
+        return {Kind::Mem, RefType::Read, a, work, 0};
+    }
+
+    static MemRef
+    write(VAddr a, std::uint32_t work = 1)
+    {
+        return {Kind::Mem, RefType::Write, a, work, 0};
+    }
+
+    static MemRef
+    barrier(std::uint32_t id, std::uint32_t work = 0)
+    {
+        return {Kind::Barrier, RefType::Read, 0, work, id};
+    }
+
+    static MemRef
+    lock(std::uint32_t id, std::uint32_t work = 0)
+    {
+        return {Kind::LockAcquire, RefType::Read, 0, work, id};
+    }
+
+    static MemRef
+    unlock(std::uint32_t id, std::uint32_t work = 0)
+    {
+        return {Kind::LockRelease, RefType::Read, 0, work, id};
+    }
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_SIM_MEMREF_HH

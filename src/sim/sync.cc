@@ -1,0 +1,82 @@
+#include "sim/sync.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+SyncManager::SyncManager(unsigned numCpus, const TimingConfig &timing)
+    : numCpus_(numCpus), timing_(timing)
+{
+}
+
+std::optional<SyncManager::BarrierRelease>
+SyncManager::arriveBarrier(std::uint32_t id, CpuId cpu, Tick now)
+{
+    Barrier &barrier = barriers_[id];
+    for (const auto &[c, t] : barrier.arrived) {
+        if (c == cpu)
+            panic("cpu ", cpu, " arrived twice at barrier ", id);
+    }
+    barrier.arrived.emplace_back(cpu, now);
+
+    if (barrier.arrived.size() < numCpus_) {
+        ++parked_;
+        return std::nullopt;
+    }
+
+    // Last arriver: release everyone.
+    Tick latest = 0;
+    for (const auto &[c, t] : barrier.arrived)
+        latest = std::max(latest, t);
+    BarrierRelease release;
+    release.releaseAt = latest + timing_.barrierRelease;
+    release.waiters = std::move(barrier.arrived);
+    parked_ -= static_cast<unsigned>(release.waiters.size() - 1);
+    barriers_.erase(id);
+    ++barrierEpisodes;
+    return release;
+}
+
+std::optional<Tick>
+SyncManager::acquireLock(std::uint32_t id, CpuId cpu, Tick now)
+{
+    Lock &lock = locks_[id];
+    ++lockAcquires;
+    if (!lock.held) {
+        lock.held = true;
+        lock.holder = cpu;
+        return now + timing_.lockTransfer;
+    }
+    ++lockContended;
+    ++parked_;
+    lock.queue.emplace_back(cpu, now);
+    return std::nullopt;
+}
+
+std::optional<SyncManager::LockGrant>
+SyncManager::releaseLock(std::uint32_t id, CpuId cpu, Tick now)
+{
+    auto it = locks_.find(id);
+    if (it == locks_.end() || !it->second.held)
+        panic("release of a free lock ", id);
+    Lock &lock = it->second;
+    if (lock.holder != cpu)
+        panic("cpu ", cpu, " released lock ", id, " held by ",
+              lock.holder);
+
+    if (lock.queue.empty()) {
+        lock.held = false;
+        return std::nullopt;
+    }
+
+    const auto [next, arrived] = lock.queue.front();
+    lock.queue.pop_front();
+    --parked_;
+    lock.holder = next;
+    return LockGrant{next, arrived, now + timing_.lockTransfer};
+}
+
+} // namespace vcoma

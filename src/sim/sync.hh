@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Synchronisation for the simulated multiprocessor: global barriers
+ * and queued locks. The simulation kernel parks processors that must
+ * wait and wakes them with the grant/release times computed here; the
+ * wait shows up as the "sync" component of Figure 10.
+ */
+
+#ifndef VCOMA_SIM_SYNC_HH
+#define VCOMA_SIM_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+/** Barrier and lock state for one run. */
+class SyncManager
+{
+  public:
+    SyncManager(unsigned numCpus, const TimingConfig &timing);
+
+    /** All processors released by a completed barrier episode. */
+    struct BarrierRelease
+    {
+        Tick releaseAt = 0;
+        /** (cpu, arrival tick) pairs, including the last arriver. */
+        std::vector<std::pair<CpuId, Tick>> waiters;
+    };
+
+    /**
+     * Processor @p cpu reaches barrier @p id at @p now. Returns the
+     * release set if this arrival completes the episode; otherwise
+     * the processor is parked.
+     */
+    std::optional<BarrierRelease> arriveBarrier(std::uint32_t id,
+                                                CpuId cpu, Tick now);
+
+    /**
+     * Try to acquire lock @p id. Returns the grant tick if the lock
+     * was free; otherwise the processor is parked in the lock's FIFO
+     * queue until releaseLock() hands it over.
+     */
+    std::optional<Tick> acquireLock(std::uint32_t id, CpuId cpu, Tick now);
+
+    /**
+     * Release lock @p id at @p now. If a processor was queued, it is
+     * granted the lock; returns (cpu, arrival tick, grant tick).
+     */
+    struct LockGrant
+    {
+        CpuId cpu = 0;
+        Tick arrivedAt = 0;
+        Tick grantedAt = 0;
+    };
+    std::optional<LockGrant> releaseLock(std::uint32_t id, CpuId cpu,
+                                         Tick now);
+
+    /** Processors currently parked (deadlock detection). */
+    unsigned parked() const { return parked_; }
+
+    Counter barrierEpisodes;
+    Counter lockAcquires;
+    Counter lockContended;
+
+  private:
+    struct Barrier
+    {
+        std::vector<std::pair<CpuId, Tick>> arrived;
+    };
+
+    struct Lock
+    {
+        bool held = false;
+        CpuId holder = 0;
+        std::deque<std::pair<CpuId, Tick>> queue;
+    };
+
+    unsigned numCpus_;
+    TimingConfig timing_;
+    unsigned parked_ = 0;
+    std::unordered_map<std::uint32_t, Barrier> barriers_;
+    std::unordered_map<std::uint32_t, Lock> locks_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_SIM_SYNC_HH

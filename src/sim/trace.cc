@@ -1,0 +1,192 @@
+#include "sim/trace.hh"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+constexpr const char *traceMagic = "vcoma-trace-v1";
+
+char
+kindChar(const MemRef &ref)
+{
+    switch (ref.kind) {
+      case MemRef::Kind::Mem:
+        return ref.type == RefType::Read ? 'R' : 'W';
+      case MemRef::Kind::Barrier:
+        return 'B';
+      case MemRef::Kind::LockAcquire:
+        return 'L';
+      case MemRef::Kind::LockRelease:
+        return 'U';
+    }
+    return '?';
+}
+
+} // namespace
+
+std::uint64_t
+recordTrace(Workload &workload, std::ostream &os)
+{
+    const unsigned P = workload.numThreads();
+    os << traceMagic << "\n";
+    os << "threads " << P << "\n";
+
+    std::vector<Generator<MemRef>> gens;
+    gens.reserve(P);
+    for (unsigned t = 0; t < P; ++t)
+        gens.push_back(workload.thread(t));
+
+    std::vector<bool> done(P, false);
+    std::vector<int> parkedAt(P, -1);
+    unsigned live = P;
+    std::uint64_t events = 0;
+
+    while (live > 0) {
+        bool progressed = false;
+        for (unsigned t = 0; t < P; ++t) {
+            if (done[t] || parkedAt[t] >= 0)
+                continue;
+            auto ref = gens[t].next();
+            progressed = true;
+            if (!ref) {
+                done[t] = true;
+                --live;
+                continue;
+            }
+            ++events;
+            os << t << " " << kindChar(*ref);
+            switch (ref->kind) {
+              case MemRef::Kind::Mem:
+                os << " " << ref->vaddr << " " << ref->work;
+                break;
+              case MemRef::Kind::Barrier:
+              case MemRef::Kind::LockAcquire:
+              case MemRef::Kind::LockRelease:
+                os << " " << ref->syncId;
+                break;
+            }
+            os << "\n";
+
+            if (ref->kind == MemRef::Kind::Barrier) {
+                parkedAt[t] = static_cast<int>(ref->syncId);
+                unsigned waiting = 0;
+                for (unsigned u = 0; u < P; ++u) {
+                    if (!done[u] && parkedAt[u] == parkedAt[t])
+                        ++waiting;
+                }
+                if (waiting == live) {
+                    for (unsigned u = 0; u < P; ++u)
+                        parkedAt[u] = -1;
+                }
+            }
+        }
+        if (!progressed && live > 0)
+            panic("recordTrace: barrier deadlock in workload '",
+                  workload.name(), "'");
+    }
+    return events;
+}
+
+TraceWorkload::TraceWorkload(std::istream &is, std::string name)
+    : name_(std::move(name))
+{
+    std::string line;
+    if (!std::getline(is, line) || line != traceMagic)
+        fatal("trace: bad magic (expected '", traceMagic, "')");
+    unsigned threads = 0;
+    {
+        std::string tag;
+        if (!(is >> tag >> threads) || tag != "threads" || threads == 0)
+            fatal("trace: missing thread count");
+    }
+    perThread_.resize(threads);
+
+    VAddr lo = std::numeric_limits<VAddr>::max();
+    VAddr hi = 0;
+    unsigned tid = 0;
+    char kind = 0;
+    while (is >> tid >> kind) {
+        if (tid >= threads)
+            fatal("trace: thread id ", tid, " out of range");
+        MemRef ref;
+        switch (kind) {
+          case 'R':
+          case 'W': {
+            ref.kind = MemRef::Kind::Mem;
+            ref.type = kind == 'R' ? RefType::Read : RefType::Write;
+            if (!(is >> ref.vaddr >> ref.work))
+                fatal("trace: truncated memory event");
+            lo = std::min(lo, ref.vaddr);
+            hi = std::max(hi, ref.vaddr + 8);
+            break;
+          }
+          case 'B':
+            ref.kind = MemRef::Kind::Barrier;
+            if (!(is >> ref.syncId))
+                fatal("trace: truncated barrier event");
+            break;
+          case 'L':
+            ref.kind = MemRef::Kind::LockAcquire;
+            if (!(is >> ref.syncId))
+                fatal("trace: truncated lock event");
+            break;
+          case 'U':
+            ref.kind = MemRef::Kind::LockRelease;
+            if (!(is >> ref.syncId))
+                fatal("trace: truncated unlock event");
+            break;
+          default:
+            fatal("trace: unknown event kind '", kind, "'");
+        }
+        perThread_[tid].push_back(ref);
+    }
+
+    // One synthetic segment spanning every touched address, so
+    // footprint reporting and bounds checks keep working.
+    if (hi > lo) {
+        space_ = AddressSpace(lo);
+        space_.alloc("trace.data", hi - lo, 1);
+    }
+}
+
+std::string
+TraceWorkload::parameters() const
+{
+    std::uint64_t events = 0;
+    for (const auto &v : perThread_)
+        events += v.size();
+    return std::to_string(events) + " events, " +
+           std::to_string(perThread_.size()) + " threads";
+}
+
+unsigned
+TraceWorkload::numThreads() const
+{
+    return static_cast<unsigned>(perThread_.size());
+}
+
+Generator<MemRef>
+TraceWorkload::thread(unsigned tid)
+{
+    if (tid >= perThread_.size())
+        fatal("trace replay: no thread ", tid);
+    return replay(tid);
+}
+
+Generator<MemRef>
+TraceWorkload::replay(unsigned tid)
+{
+    for (const MemRef &ref : perThread_[tid])
+        co_yield ref;
+}
+
+} // namespace vcoma

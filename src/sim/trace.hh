@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reference-trace recording and replay.
+ *
+ * The workload kernels are execution-driven, but a recorded trace is
+ * often more convenient: it can be inspected, diffed, archived, or
+ * replayed against many machine configurations without re-running the
+ * algorithm. The text format is one event per line:
+ *
+ *     vcoma-trace-v1
+ *     threads <N>
+ *     <tid> R <vaddr> <work>      read
+ *     <tid> W <vaddr> <work>      write
+ *     <tid> B <id>                barrier
+ *     <tid> L <id>                lock acquire
+ *     <tid> U <id>                lock release
+ *
+ * Events of one thread appear in program order; threads may be
+ * interleaved arbitrarily (the recorder interleaves them the way a
+ * barrier-aware round-robin scheduler would).
+ */
+
+#ifndef VCOMA_SIM_TRACE_HH
+#define VCOMA_SIM_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/memref.hh"
+#include "workloads/workload.hh"
+
+namespace vcoma
+{
+
+/**
+ * Drain @p workload with a barrier-aware round-robin interleaver and
+ * write its trace to @p os.
+ * @return total events recorded.
+ */
+std::uint64_t recordTrace(Workload &workload, std::ostream &os);
+
+/** A workload that replays a previously recorded trace. */
+class TraceWorkload : public Workload
+{
+  public:
+    /** Parse a trace from @p is; fatal() on malformed input. */
+    explicit TraceWorkload(std::istream &is, std::string name = "TRACE");
+
+    std::string name() const override { return name_; }
+    std::string parameters() const override;
+    unsigned numThreads() const override;
+    Generator<MemRef> thread(unsigned tid) override;
+    const AddressSpace &space() const override { return space_; }
+
+    /** Events of one thread (tests). */
+    const std::vector<MemRef> &
+    events(unsigned tid) const
+    {
+        return perThread_.at(tid);
+    }
+
+  private:
+    Generator<MemRef> replay(unsigned tid);
+
+    std::string name_;
+    AddressSpace space_;
+    std::vector<std::vector<MemRef>> perThread_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_SIM_TRACE_HH

@@ -1,0 +1,50 @@
+#include "translation/scheme.hh"
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+SchemeTraits
+schemeTraits(Scheme scheme)
+{
+    SchemeTraits t;
+    t.scheme = scheme;
+    switch (scheme) {
+      case Scheme::L0:
+        // Classic TLB before the FLC; everything physical.
+        break;
+      case Scheme::L1:
+        t.flcVirtual = true;
+        break;
+      case Scheme::L2:
+        t.flcVirtual = true;
+        t.slcVirtual = true;
+        break;
+      case Scheme::L3:
+        t.flcVirtual = true;
+        t.slcVirtual = true;
+        t.amVirtual = true;
+        t.placement = PlacementPolicy::Coloured;
+        break;
+      case Scheme::VCOMA:
+        t.flcVirtual = true;
+        t.slcVirtual = true;
+        t.amVirtual = true;
+        t.perNodeTlb = false;
+        t.placement = PlacementPolicy::Vcoma;
+        break;
+    }
+    return t;
+}
+
+double
+virtualTagOverhead(unsigned blockBytes, unsigned extraTagBytes)
+{
+    if (blockBytes == 0)
+        fatal("virtualTagOverhead: zero block size");
+    return static_cast<double>(extraTagBytes) /
+           static_cast<double>(blockBytes);
+}
+
+} // namespace vcoma

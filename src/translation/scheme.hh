@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Static properties of the five translation schemes (Section 3):
+ * which levels of the hierarchy are virtually indexed/tagged, where
+ * the TLB sits, and which page-placement policy the scheme uses.
+ */
+
+#ifndef VCOMA_TRANSLATION_SCHEME_HH
+#define VCOMA_TRANSLATION_SCHEME_HH
+
+#include "common/config.hh"
+
+namespace vcoma
+{
+
+/** Placement policy implied by the scheme. */
+enum class PlacementPolicy : std::uint8_t
+{
+    RoundRobin,  ///< physical frames round-robin (L0/L1/L2)
+    Coloured,    ///< page colouring (L3, Figure 4)
+    Vcoma,       ///< no frames; home from the VPN (V-COMA)
+};
+
+/** Derived static traits of a scheme. */
+struct SchemeTraits
+{
+    Scheme scheme = Scheme::L0;
+    /** FLC virtually indexed and tagged. */
+    bool flcVirtual = false;
+    /** SLC virtually indexed and tagged. */
+    bool slcVirtual = false;
+    /** Attraction memory virtually indexed and tagged. */
+    bool amVirtual = false;
+    /** Scheme has a per-node TLB (false only for V-COMA's DLB). */
+    bool perNodeTlb = true;
+    PlacementPolicy placement = PlacementPolicy::RoundRobin;
+
+    /** The machine has a physical address space at all. */
+    bool
+    hasPhysicalAddresses() const
+    {
+        return placement != PlacementPolicy::Vcoma;
+    }
+};
+
+/** Traits for @p scheme. */
+SchemeTraits schemeTraits(Scheme scheme);
+
+/**
+ * Extra tag memory implied by virtual tags (Section 6 discussion):
+ * the virtual tag is @p extraTagBytes longer than a physical tag, so
+ * the tag overhead grows by extraTagBytes/blockBytes of the data
+ * capacity.
+ * @return the overhead as a fraction of the tagged memory's capacity.
+ */
+double virtualTagOverhead(unsigned blockBytes, unsigned extraTagBytes);
+
+} // namespace vcoma
+
+#endif // VCOMA_TRANSLATION_SCHEME_HH

@@ -1,0 +1,71 @@
+#include "translation/system_builder.hh"
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+std::unique_ptr<PageAllocator>
+makeAllocator(const SchemeTraits &traits, const VAddrLayout &layout,
+              PressureTracker &pressure, unsigned numNodes)
+{
+    switch (traits.placement) {
+      case PlacementPolicy::RoundRobin:
+        return std::make_unique<RoundRobinAllocator>(layout, pressure,
+                                                     numNodes);
+      case PlacementPolicy::Coloured:
+        return std::make_unique<ColouredAllocator>(layout, pressure,
+                                                   numNodes);
+      case PlacementPolicy::Vcoma:
+        return std::make_unique<VcomaAllocator>(layout, pressure,
+                                                numNodes);
+    }
+    panic("unknown placement policy");
+}
+
+std::vector<std::unique_ptr<Node>>
+makeNodes(const MachineConfig &cfg, const SchemeTraits &traits)
+{
+    std::vector<std::unique_ptr<Node>> nodes;
+    nodes.reserve(cfg.numNodes);
+    for (NodeId id = 0; id < cfg.numNodes; ++id)
+        nodes.push_back(std::make_unique<Node>(id, cfg, traits));
+    return nodes;
+}
+
+MachineConfig
+validated(MachineConfig cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+baselineConfig(Scheme scheme, unsigned entries, unsigned assoc)
+{
+    MachineConfig cfg;  // defaults are the paper's baseline
+    cfg.translation.scheme = scheme;
+    cfg.translation.entries = entries;
+    cfg.translation.assoc = assoc;
+    return cfg;
+}
+
+MachineConfig
+tinyConfig(Scheme scheme, unsigned entries, unsigned assoc)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 4;
+    cfg.pageBytes = 1024;
+    cfg.flc = CacheConfig{1024, 1, 32, /*writeThrough=*/true,
+                          /*writeAllocate=*/false};
+    cfg.slc = CacheConfig{4096, 4, 64, /*writeThrough=*/false,
+                          /*writeAllocate=*/true};
+    cfg.am = CacheConfig{64 * 1024, 4, 128, /*writeThrough=*/false,
+                         /*writeAllocate=*/true};
+    cfg.translation.scheme = scheme;
+    cfg.translation.entries = entries;
+    cfg.translation.assoc = assoc;
+    return cfg;
+}
+
+} // namespace vcoma

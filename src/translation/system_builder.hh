@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Helpers that assemble a Machine for a given translation scheme:
+ * the page-placement allocator the scheme requires, the per-node
+ * hardware, and convenience configuration builders used by the
+ * examples, tests and benchmark harness.
+ */
+
+#ifndef VCOMA_TRANSLATION_SYSTEM_BUILDER_HH
+#define VCOMA_TRANSLATION_SYSTEM_BUILDER_HH
+
+#include <memory>
+#include <vector>
+
+#include "coma/node.hh"
+#include "common/config.hh"
+#include "core/vaddr_layout.hh"
+#include "translation/scheme.hh"
+#include "vm/page_allocator.hh"
+#include "vm/pressure.hh"
+
+namespace vcoma
+{
+
+/** Build the page allocator the scheme's placement policy requires. */
+std::unique_ptr<PageAllocator> makeAllocator(const SchemeTraits &traits,
+                                             const VAddrLayout &layout,
+                                             PressureTracker &pressure,
+                                             unsigned numNodes);
+
+/** Build the per-node hardware. */
+std::vector<std::unique_ptr<Node>> makeNodes(const MachineConfig &cfg,
+                                             const SchemeTraits &traits);
+
+/** Validate-and-return, for constructor initialiser lists. */
+MachineConfig validated(MachineConfig cfg);
+
+/**
+ * The paper's baseline machine (Section 5.1) configured for
+ * @p scheme with a TLB/DLB of @p entries entries (@p assoc 0 = fully
+ * associative).
+ */
+MachineConfig baselineConfig(Scheme scheme, unsigned entries = 8,
+                             unsigned assoc = 0);
+
+/**
+ * A scaled-down machine for unit tests and quick examples: 4 nodes,
+ * small caches, small attraction memory, same structure.
+ */
+MachineConfig tinyConfig(Scheme scheme, unsigned entries = 8,
+                         unsigned assoc = 0);
+
+} // namespace vcoma
+
+#endif // VCOMA_TRANSLATION_SYSTEM_BUILDER_HH

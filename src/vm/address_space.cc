@@ -1,0 +1,32 @@
+#include "vm/address_space.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+VAddr
+AddressSpace::alloc(std::string name, std::uint64_t bytes,
+                    std::uint64_t align)
+{
+    if (bytes == 0)
+        fatal("segment '", name, "': zero-size allocation");
+    if (!isPowerOf2(align))
+        fatal("segment '", name, "': alignment must be a power of two");
+    const VAddr base = alignUp(next_, align);
+    next_ = base + bytes;
+    segments_.push_back(Segment{std::move(name), base, bytes, align});
+    return base;
+}
+
+std::uint64_t
+AddressSpace::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &seg : segments_)
+        total += seg.bytes;
+    return total;
+}
+
+} // namespace vcoma

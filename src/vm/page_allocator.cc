@@ -1,0 +1,79 @@
+#include "vm/page_allocator.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+void
+PageAllocator::release(PageInfo &page)
+{
+    pressure_.pageOut(page.colour);
+}
+
+void
+PageAllocator::reattach(PageInfo &page)
+{
+    pressure_.pageIn(page.colour);
+}
+
+void
+RoundRobinAllocator::assign(PageInfo &page)
+{
+    const std::uint64_t frame = nextFrame_++;
+    page.frame = frame;
+    page.home = static_cast<NodeId>(frame % numNodes_);
+    // The colour of the page is that of its *physical* frame: the
+    // attraction memory is physically indexed in this machine.
+    page.colour = frame & mask(layout_.colourBits());
+    pressure_.pageIn(page.colour);
+}
+
+ColouredAllocator::ColouredAllocator(const VAddrLayout &layout,
+                                     PressureTracker &pressure,
+                                     unsigned numNodes)
+    : PageAllocator(layout, pressure), numNodes_(numNodes),
+      nextInColour_(layout.numColours(), 0)
+{
+}
+
+void
+ColouredAllocator::assign(PageInfo &page)
+{
+    // Page colouring (Figure 4): the frame's colour bits must equal
+    // the virtual page's colour bits so that physical and virtual
+    // indexing select the same attraction-memory sets.
+    const std::uint64_t colour = layout_.colourOfVpn(page.vpn);
+    const std::uint64_t ordinal = nextInColour_[colour]++;
+    page.frame = (ordinal << layout_.colourBits()) | colour;
+    // As in COMA-F, the home is the low bits of the frame number —
+    // which for a coloured frame are the colour bits, so every page
+    // of a global set shares a home, exactly as in V-COMA.
+    page.home = static_cast<NodeId>(page.frame % numNodes_);
+    page.colour = colour;
+    pressure_.pageIn(colour);
+}
+
+VcomaAllocator::VcomaAllocator(const VAddrLayout &layout,
+                               PressureTracker &pressure,
+                               unsigned numNodes)
+    : PageAllocator(layout, pressure),
+      nextDirPage_(numNodes, 0)
+{
+}
+
+void
+VcomaAllocator::assign(PageInfo &page)
+{
+    // Section 4.2: the home node is given by the p least significant
+    // bits of the virtual page number; a directory page (the
+    // pageframe analogue, Section 4.3) is allocated at the home.
+    page.home = layout_.homeNodeOfVpn(page.vpn);
+    page.colour = layout_.colourOfVpn(page.vpn);
+    page.frame = PageInfo::noFrame;
+    page.dirPage = nextDirPage_[page.home]++;
+    pressure_.pageIn(page.colour);
+}
+
+} // namespace vcoma

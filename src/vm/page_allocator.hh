@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Page-placement strategies for the five translation schemes.
+ *
+ *  - RoundRobinAllocator: the traditional physical COMA policy used
+ *    by the paper for L0/L1/L2 ("physical addresses are assigned
+ *    round robin", Section 5.3). The physical frame index determines
+ *    both the home node and the AM sets the page's blocks index into.
+ *  - ColouredAllocator: page colouring for the virtually-indexed
+ *    attraction memory of L3-TLB (Section 3.4 / Figure 4): the
+ *    physical page must share the virtual page's colour so virtual
+ *    and physical indexing agree; homes rotate within each colour.
+ *  - VcomaAllocator: no physical address at all (Section 4). The
+ *    home is the p LSBs of the virtual page number and the entry
+ *    points at a *directory page* allocated at the home.
+ *
+ * All strategies feed the PressureTracker that produces Figure 11's
+ * global-page-set pressure profile and gates allocation against the
+ * page-daemon threshold of Section 4.3.
+ */
+
+#ifndef VCOMA_VM_PAGE_ALLOCATOR_HH
+#define VCOMA_VM_PAGE_ALLOCATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vaddr_layout.hh"
+#include "vm/page_table.hh"
+#include "vm/pressure.hh"
+
+namespace vcoma
+{
+
+/** Strategy interface: fill in placement fields of a fresh page. */
+class PageAllocator
+{
+  public:
+    explicit PageAllocator(const VAddrLayout &layout,
+                           PressureTracker &pressure)
+        : layout_(layout), pressure_(pressure)
+    {
+    }
+
+    virtual ~PageAllocator() = default;
+
+    /**
+     * Assign home/frame/dirPage/colour for @p page (vpn already set).
+     * Also registers the page with the pressure tracker.
+     */
+    virtual void assign(PageInfo &page) = 0;
+
+    /** Release placement state when a page is swapped out. */
+    virtual void release(PageInfo &page);
+
+    /**
+     * Re-register a previously swapped-out page that is reloaded
+     * with its original placement (the slot of a page within its
+     * global set is kept across swaps).
+     */
+    virtual void reattach(PageInfo &page);
+
+  protected:
+    const VAddrLayout &layout_;
+    PressureTracker &pressure_;
+};
+
+/** Physical COMA: frames handed out round-robin across nodes. */
+class RoundRobinAllocator : public PageAllocator
+{
+  public:
+    RoundRobinAllocator(const VAddrLayout &layout,
+                        PressureTracker &pressure, unsigned numNodes)
+        : PageAllocator(layout, pressure), numNodes_(numNodes)
+    {
+    }
+
+    void assign(PageInfo &page) override;
+
+  private:
+    unsigned numNodes_;
+    std::uint64_t nextFrame_ = 0;
+};
+
+/** L3-TLB: page colouring; physical colour == virtual colour. */
+class ColouredAllocator : public PageAllocator
+{
+  public:
+    ColouredAllocator(const VAddrLayout &layout, PressureTracker &pressure,
+                      unsigned numNodes);
+
+    void assign(PageInfo &page) override;
+
+  private:
+    unsigned numNodes_;
+    /** Next frame ordinal within each colour. */
+    std::vector<std::uint64_t> nextInColour_;
+};
+
+/** V-COMA: no frames; home from the VPN; directory pages at home. */
+class VcomaAllocator : public PageAllocator
+{
+  public:
+    VcomaAllocator(const VAddrLayout &layout, PressureTracker &pressure,
+                   unsigned numNodes);
+
+    void assign(PageInfo &page) override;
+
+  private:
+    /** Next directory-page index per home node. */
+    std::vector<std::uint64_t> nextDirPage_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_VM_PAGE_ALLOCATOR_HH

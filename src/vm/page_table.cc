@@ -1,0 +1,99 @@
+#include "vm/page_table.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "vm/page_allocator.hh"
+
+namespace vcoma
+{
+
+PageTable::PageTable(unsigned pageBits, PageAllocator &allocator)
+    : pageBits_(pageBits), allocator_(allocator)
+{
+}
+
+PageInfo &
+PageTable::ensureResident(VAddr va)
+{
+    const PageNum vpn = va >> pageBits_;
+    auto [it, inserted] = pages_.try_emplace(vpn);
+    PageInfo &page = it->second;
+    if (inserted) {
+        page.vpn = vpn;
+        allocator_.assign(page);
+        page.resident = true;
+        ++pageFaults;
+        if (page.frame != PageInfo::noFrame)
+            frameToVpn_[page.frame] = vpn;
+        if (onResident_)
+            onResident_(page);
+    } else if (!page.resident) {
+        // Reload after a swap-out keeps the placement assigned at
+        // first touch (the slot of a page within its global set),
+        // but must re-register with the pressure tracker.
+        allocator_.reattach(page);
+        page.resident = true;
+        ++pageFaults;
+        ++pageReloads;
+        if (onResident_)
+            onResident_(page);
+    }
+    return page;
+}
+
+PageInfo *
+PageTable::find(PageNum vpn)
+{
+    auto it = pages_.find(vpn);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+const PageInfo *
+PageTable::find(PageNum vpn) const
+{
+    auto it = pages_.find(vpn);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+PAddr
+PageTable::translate(VAddr va) const
+{
+    const PageNum vpn = va >> pageBits_;
+    const PageInfo *page = find(vpn);
+    if (!page || !page->resident)
+        panic("translate of non-resident page, vpn=", vpn);
+    if (page->frame == PageInfo::noFrame)
+        panic("translate in a machine without physical addresses");
+    return (page->frame << pageBits_) | (va & mask(pageBits_));
+}
+
+VAddr
+PageTable::reverse(PAddr pa) const
+{
+    const std::uint64_t frame = pa >> pageBits_;
+    auto it = frameToVpn_.find(frame);
+    if (it == frameToVpn_.end())
+        panic("reverse translation of unmapped frame ", frame);
+    return (it->second << pageBits_) | (pa & mask(pageBits_));
+}
+
+const PageInfo *
+PageTable::pageOfFrame(std::uint64_t frame) const
+{
+    auto it = frameToVpn_.find(frame);
+    return it == frameToVpn_.end() ? nullptr : find(it->second);
+}
+
+void
+PageTable::swapOut(PageNum vpn)
+{
+    PageInfo *page = find(vpn);
+    if (!page || !page->resident)
+        panic("swapOut of non-resident page, vpn=", vpn);
+    page->resident = false;
+    page->referenced = false;
+    allocator_.release(*page);
+    ++swapOuts;
+}
+
+} // namespace vcoma

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The global page table: virtual page -> {home node, physical frame
+ * or directory page, colour, protection, reference/modify bits}.
+ *
+ * One table serves the whole machine (the address space is global and
+ * synonym-free). In the physical schemes it is the classical page
+ * table whose entries TLBs cache; in V-COMA it is the per-home-node
+ * set-associative table of Figure 6 whose entries the DLB caches —
+ * the geometry difference is captured by the allocator strategy, not
+ * by the lookup structure of this model.
+ */
+
+#ifndef VCOMA_VM_PAGE_TABLE_HH
+#define VCOMA_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+class PageAllocator;
+
+/** Page-level protection bits (Section 4.3). */
+enum ProtBits : std::uint8_t
+{
+    ProtRead = 1,
+    ProtWrite = 2,
+    ProtExec = 4,
+    ProtRW = ProtRead | ProtWrite,
+};
+
+/** One page-table entry. */
+struct PageInfo
+{
+    PageNum vpn = 0;
+    /** Home node for the coherence protocol. */
+    NodeId home = invalidNode;
+    /** Physical frame index; unused (=noFrame) in V-COMA. */
+    std::uint64_t frame = noFrame;
+    /** Directory-page index at the home node (V-COMA). */
+    std::uint64_t dirPage = 0;
+    /** Global page set the page belongs to. */
+    std::uint64_t colour = 0;
+    std::uint8_t protection = ProtRW;
+    /** Reference bit (Section 4.3). */
+    bool referenced = false;
+    /** Modify bit (Section 4.3). */
+    bool modified = false;
+    /** Resident in (attraction) memory. */
+    bool resident = false;
+
+    static constexpr std::uint64_t noFrame = ~std::uint64_t{0};
+};
+
+/**
+ * The page table plus the frame reverse map ("backpointers",
+ * Section 2.2.2) physical caches need to reach the virtual caches
+ * below them.
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param pageBits log2(page size)
+     * @param allocator strategy that assigns home/frame/dirPage on
+     *                  first touch; not owned.
+     */
+    PageTable(unsigned pageBits, PageAllocator &allocator);
+
+    /**
+     * Get the entry for the page containing @p va, allocating and
+     * making it resident on first touch (data sets are preloaded, so
+     * first-touch allocation carries no timing in the simulations).
+     * If the page was swapped out, reloads it (a page fault).
+     */
+    PageInfo &ensureResident(VAddr va);
+
+    /** Find an existing entry or nullptr. */
+    PageInfo *find(PageNum vpn);
+    const PageInfo *find(PageNum vpn) const;
+
+    /** Translate to a physical address; page must be resident. */
+    PAddr translate(VAddr va) const;
+
+    /** Reverse-translate a physical address (frame backpointers). */
+    VAddr reverse(PAddr pa) const;
+
+    /** Virtual page owning physical frame @p frame, or nullptr. */
+    const PageInfo *pageOfFrame(std::uint64_t frame) const;
+
+    /**
+     * Mark @p vpn swapped out (page daemon victim). The caller is
+     * responsible for purging cached copies and directory state.
+     */
+    void swapOut(PageNum vpn);
+
+    /**
+     * Clear every page's reference bit (the Section 4.1 decay daemon
+     * run by the protocol engines).
+     */
+    void
+    clearReferenceBits()
+    {
+        for (auto &[vpn, page] : pages_)
+            page.referenced = false;
+    }
+
+    /** Hook invoked whenever a page becomes resident. */
+    void
+    onPageResident(std::function<void(PageInfo &)> fn)
+    {
+        onResident_ = std::move(fn);
+    }
+
+    /** All entries (iteration for stats / pressure reports). */
+    const std::unordered_map<PageNum, PageInfo> &entries() const
+    {
+        return pages_;
+    }
+
+    unsigned pageBits() const { return pageBits_; }
+
+    /** @{ @name Statistics */
+    Counter pageFaults;    ///< first-touch loads + reloads
+    Counter pageReloads;   ///< reloads after a swap-out only
+    Counter swapOuts;
+    /** @} */
+
+  private:
+    unsigned pageBits_;
+    PageAllocator &allocator_;
+    std::unordered_map<PageNum, PageInfo> pages_;
+    std::unordered_map<std::uint64_t, PageNum> frameToVpn_;
+    std::function<void(PageInfo &)> onResident_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_VM_PAGE_TABLE_HH

@@ -1,0 +1,87 @@
+#include "vm/pressure.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+PressureTracker::PressureTracker(std::uint64_t numSets,
+                                 std::uint64_t capacity)
+    : capacity_(capacity), counts_(numSets, 0)
+{
+    if (numSets == 0 || capacity == 0)
+        fatal("pressure tracker needs non-zero sets and capacity");
+}
+
+void
+PressureTracker::pageIn(std::uint64_t colour)
+{
+    auto &count = counts_.at(colour);
+    ++count;
+    if (count > capacity_)
+        ++overflows;
+}
+
+void
+PressureTracker::pageOut(std::uint64_t colour)
+{
+    auto &count = counts_.at(colour);
+    if (count == 0)
+        panic("pageOut on empty global page set ", colour);
+    --count;
+}
+
+std::uint64_t
+PressureTracker::occupied(std::uint64_t colour) const
+{
+    return counts_.at(colour);
+}
+
+double
+PressureTracker::pressure(std::uint64_t colour) const
+{
+    return static_cast<double>(counts_.at(colour)) /
+           static_cast<double>(capacity_);
+}
+
+std::vector<double>
+PressureTracker::profile() const
+{
+    std::vector<double> result(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        result[i] = static_cast<double>(counts_[i]) /
+                    static_cast<double>(capacity_);
+    }
+    return result;
+}
+
+double
+PressureTracker::maxPressure() const
+{
+    std::uint64_t best = 0;
+    for (auto c : counts_)
+        best = std::max(best, c);
+    return static_cast<double>(best) / static_cast<double>(capacity_);
+}
+
+double
+PressureTracker::meanPressure() const
+{
+    std::uint64_t total = 0;
+    for (auto c : counts_)
+        total += c;
+    return static_cast<double>(total) /
+           (static_cast<double>(capacity_) * counts_.size());
+}
+
+bool
+PressureTracker::wouldExceed(std::uint64_t colour, double threshold) const
+{
+    return (static_cast<double>(counts_.at(colour)) + 1.0) /
+               static_cast<double>(capacity_) >
+           threshold;
+}
+
+} // namespace vcoma

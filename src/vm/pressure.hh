@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Memory-pressure accounting per global page set (Sections 3.4, 4.3
+ * and 6 of the paper; Figure 11).
+ *
+ * Pressure of a global page set = occupied page slots / capacity,
+ * where capacity = P * K (number of nodes times attraction-memory
+ * associativity). When the pressure of the set a new page maps to
+ * exceeds the page-daemon threshold, a resident page of that set must
+ * be swapped out even if other sets are underused — the cost of the
+ * set-associative virtual-to-physical mapping the paper discusses.
+ */
+
+#ifndef VCOMA_VM_PRESSURE_HH
+#define VCOMA_VM_PRESSURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+/** Tracks resident-page counts per global page set. */
+class PressureTracker
+{
+  public:
+    /**
+     * @param numSets  number of global page sets (colours)
+     * @param capacity page slots per global page set (P * K)
+     */
+    PressureTracker(std::uint64_t numSets, std::uint64_t capacity);
+
+    /** A page of @p colour became resident. */
+    void pageIn(std::uint64_t colour);
+
+    /** A page of @p colour was swapped out. */
+    void pageOut(std::uint64_t colour);
+
+    /** Resident pages in @p colour. */
+    std::uint64_t occupied(std::uint64_t colour) const;
+
+    /** Pressure (occupied/capacity) of @p colour. */
+    double pressure(std::uint64_t colour) const;
+
+    /** Full profile across all colours (Figure 11). */
+    std::vector<double> profile() const;
+
+    /** Highest pressure across all colours. */
+    double maxPressure() const;
+
+    /** Mean pressure across all colours. */
+    double meanPressure() const;
+
+    /** True if adding a page to @p colour would exceed @p threshold. */
+    bool wouldExceed(std::uint64_t colour, double threshold) const;
+
+    std::uint64_t numSets() const { return counts_.size(); }
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Times a pageIn pushed a colour past full capacity. */
+    Counter overflows;
+
+  private:
+    std::uint64_t capacity_;
+    std::vector<std::uint64_t> counts_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_VM_PRESSURE_HH

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * BARNES: the SPLASH-2 Barnes-Hut hierarchical n-body kernel.
+ *
+ * A real quadtree is built over host particle positions. Each
+ * timestep the threads (1) insert their bodies into the shared tree
+ * under per-cell locks, (2) compute cell centres of mass bottom-up,
+ * (3) walk the tree per body with the theta opening criterion — the
+ * irregular, heavily read-shared traversal that dominates the
+ * benchmark — and (4) update their bodies.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/workload.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+/** Shared-space image of one tree cell (one AM block). */
+struct CellImage
+{
+    unsigned char bytes[128];
+};
+
+/** Shared-space image of one body (one AM block, as in SPLASH-2). */
+struct BodyImage
+{
+    unsigned char bytes[128];
+};
+
+class BarnesWorkload : public Workload
+{
+  public:
+    explicit BarnesWorkload(const WorkloadParams &params)
+        : params_(params),
+          numBodies_(scaledBodies(params.scale)),
+          timesteps_(2),
+          theta_(0.7)
+    {
+        buildHostTree();
+        bodies_ = SharedArray<BodyImage>(space_, "barnes.bodies",
+                                         numBodies_);
+        cells_ = SharedArray<CellImage>(space_, "barnes.cells",
+                                        nodes_.size());
+    }
+
+    std::string name() const override { return "BARNES"; }
+
+    std::string
+    parameters() const override
+    {
+        return std::to_string(numBodies_) + " particles";
+    }
+
+    unsigned numThreads() const override { return params_.threads; }
+    const AddressSpace &space() const override { return space_; }
+
+    Generator<MemRef> thread(unsigned tid) override { return body(tid); }
+
+  private:
+    struct QNode
+    {
+        double cx = 0.5, cy = 0.5, half = 0.5;
+        int child[4] = {-1, -1, -1, -1};
+        int bodyIdx = -1;
+        bool leaf = true;
+    };
+
+    static std::uint64_t
+    scaledBodies(double scale)
+    {
+        return std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(4096 * scale), 256);
+    }
+
+    unsigned
+    quadrantOf(const QNode &node, double x, double y) const
+    {
+        return (x >= node.cx ? 1u : 0u) | (y >= node.cy ? 2u : 0u);
+    }
+
+    int
+    makeChild(int parent, unsigned q)
+    {
+        QNode child;
+        const QNode &p = nodes_[parent];
+        child.half = p.half / 2;
+        child.cx = p.cx + ((q & 1) ? child.half : -child.half);
+        child.cy = p.cy + ((q & 2) ? child.half : -child.half);
+        nodes_.push_back(child);
+        const int idx = static_cast<int>(nodes_.size()) - 1;
+        nodes_[parent].child[q] = idx;
+        return idx;
+    }
+
+    void
+    insertBody(std::uint64_t b)
+    {
+        const double x = posX_[b];
+        const double y = posY_[b];
+        int cur = 0;
+        std::vector<int> path{0};
+        while (true) {
+            QNode &node = nodes_[cur];
+            if (node.leaf && node.bodyIdx < 0) {
+                node.bodyIdx = static_cast<int>(b);
+                break;
+            }
+            if (node.leaf) {
+                // Split: push the resident body down.
+                const int other = node.bodyIdx;
+                node.bodyIdx = -1;
+                node.leaf = false;
+                const unsigned oq =
+                    quadrantOf(node, posX_[other], posY_[other]);
+                const int oc = makeChild(cur, oq);
+                nodes_[oc].bodyIdx = other;
+            }
+            QNode &inner = nodes_[cur];
+            const unsigned q = quadrantOf(inner, x, y);
+            int next = inner.child[q];
+            if (next < 0)
+                next = makeChild(cur, q);
+            cur = next;
+            path.push_back(cur);
+        }
+        insertPaths_[b] = std::move(path);
+    }
+
+    void
+    renumberCellsDfs()
+    {
+        std::vector<int> order;
+        order.reserve(nodes_.size());
+        std::vector<int> stack{0};
+        std::vector<int> newIndex(nodes_.size(), -1);
+        while (!stack.empty()) {
+            const int cur = stack.back();
+            stack.pop_back();
+            newIndex[cur] = static_cast<int>(order.size());
+            order.push_back(cur);
+            const QNode &node = nodes_[cur];
+            for (int q = 3; q >= 0; --q) {
+                if (node.child[q] >= 0)
+                    stack.push_back(node.child[q]);
+            }
+        }
+        std::vector<QNode> renumbered(nodes_.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            QNode node = nodes_[order[i]];
+            for (int &c : node.child) {
+                if (c >= 0)
+                    c = newIndex[c];
+            }
+            renumbered[i] = node;
+        }
+        nodes_ = std::move(renumbered);
+        for (auto &path : insertPaths_) {
+            for (int &c : path)
+                c = newIndex[c];
+        }
+    }
+
+    void
+    renumberBodiesSpatially()
+    {
+        std::vector<std::uint64_t> order(numBodies_);
+        for (std::uint64_t b = 0; b < numBodies_; ++b)
+            order[b] = b;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint64_t a, std::uint64_t b) {
+                             return insertPaths_[a].back() <
+                                    insertPaths_[b].back();
+                         });
+        std::vector<double> px(numBodies_), py(numBodies_);
+        std::vector<std::vector<int>> paths(numBodies_);
+        std::vector<std::uint64_t> newIndex(numBodies_);
+        for (std::uint64_t i = 0; i < numBodies_; ++i) {
+            const std::uint64_t old = order[i];
+            px[i] = posX_[old];
+            py[i] = posY_[old];
+            paths[i] = std::move(insertPaths_[old]);
+            newIndex[old] = i;
+        }
+        posX_ = std::move(px);
+        posY_ = std::move(py);
+        insertPaths_ = std::move(paths);
+        for (auto &node : nodes_) {
+            if (node.bodyIdx >= 0) {
+                node.bodyIdx = static_cast<int>(
+                    newIndex[static_cast<std::uint64_t>(node.bodyIdx)]);
+            }
+        }
+    }
+
+    void
+    buildHostTree()
+    {
+        Rng rng(params_.seed * 0x2545f491ULL + 3);
+        posX_.resize(numBodies_);
+        posY_.resize(numBodies_);
+        for (std::uint64_t b = 0; b < numBodies_; ++b) {
+            // Plummer-ish clustering: mix a dense core with a halo.
+            if (rng.below(4) != 0) {
+                posX_[b] = 0.5 + (rng.uniform() - 0.5) * 0.3;
+                posY_[b] = 0.5 + (rng.uniform() - 0.5) * 0.3;
+            } else {
+                posX_[b] = rng.uniform();
+                posY_[b] = rng.uniform();
+            }
+        }
+        nodes_.clear();
+        nodes_.push_back(QNode{});
+        insertPaths_.resize(numBodies_);
+        for (std::uint64_t b = 0; b < numBodies_; ++b)
+            insertBody(b);
+
+        // Renumber cells in depth-first order: SPLASH-2 allocates
+        // cells from per-processor pools as the tree is descended, so
+        // a force walk touches nearly-consecutive cell records. The
+        // breadth-first construction order above would scatter them.
+        renumberCellsDfs();
+
+        // Sort bodies spatially (by their leaf's depth-first index),
+        // mirroring SPLASH-2's costzones partitioning: consecutive
+        // bodies then walk overlapping subtrees, and each processor's
+        // band is a spatial region.
+        renumberBodiesSpatially();
+
+        // Bottom-up ordering of internal cells for the COM pass.
+        comOrder_.clear();
+        std::vector<int> stack{0};
+        std::vector<int> post;
+        while (!stack.empty()) {
+            const int cur = stack.back();
+            stack.pop_back();
+            post.push_back(cur);
+            for (int c : nodes_[cur].child) {
+                if (c >= 0)
+                    stack.push_back(c);
+            }
+        }
+        comOrder_.assign(post.rbegin(), post.rend());
+    }
+
+    /** Cells a body's force walk touches, via the theta criterion. */
+    void
+    forceWalk(std::uint64_t b, std::vector<int> &visited) const
+    {
+        visited.clear();
+        std::vector<int> stack{0};
+        while (!stack.empty()) {
+            const int cur = stack.back();
+            stack.pop_back();
+            const QNode &node = nodes_[cur];
+            visited.push_back(cur);
+            if (node.leaf)
+                continue;
+            const double dx = node.cx - posX_[b];
+            const double dy = node.cy - posY_[b];
+            const double dist = std::sqrt(dx * dx + dy * dy) + 1e-9;
+            if (2 * node.half / dist < theta_)
+                continue;  // far enough: use the cell's expansion
+            for (int c : node.child) {
+                if (c >= 0)
+                    stack.push_back(c);
+            }
+        }
+    }
+
+    Generator<MemRef>
+    body(unsigned tid)
+    {
+        const unsigned P = params_.threads;
+        const std::uint64_t perProc = (numBodies_ + P - 1) / P;
+        const std::uint64_t lo = tid * perProc;
+        const std::uint64_t hi = std::min<std::uint64_t>(lo + perProc,
+                                                         numBodies_);
+        const std::uint64_t numCells = nodes_.size();
+        const std::uint64_t cellsPerProc = (numCells + P - 1) / P;
+        std::uint32_t bar = 0;
+        std::vector<int> visited;
+
+        for (unsigned step = 0; step < timesteps_; ++step) {
+            // Phase 1: tree construction. Each insertion walks the
+            // shared tree and updates the destination cell under a
+            // hashed per-cell lock.
+            for (std::uint64_t b = lo; b < hi; ++b) {
+                co_yield MemRef::read(bodies_.addr(b), 1);
+                co_yield MemRef::read(bodies_.addr(b) + 32, 1);
+                const auto &path = insertPaths_[b];
+                for (int cell : path) {
+                    co_yield MemRef::read(cells_.addr(cell), 1);
+                    co_yield MemRef::read(cells_.addr(cell) + 64, 1);
+                }
+                const int leafCell = path.back();
+                const std::uint32_t lockId =
+                    64 + static_cast<std::uint32_t>(leafCell % 32);
+                co_yield MemRef::lock(lockId);
+                co_yield MemRef::write(cells_.addr(leafCell), 4);
+                co_yield MemRef::unlock(lockId);
+            }
+            co_yield MemRef::barrier(bar++);
+
+            // Phase 2: centres of mass, bottom-up, cells partitioned
+            // across processors.
+            for (std::uint64_t i = tid * cellsPerProc;
+                 i < std::min<std::uint64_t>((tid + 1) * cellsPerProc,
+                                             numCells);
+                 ++i) {
+                const int cell = comOrder_[i];
+                for (int c : nodes_[cell].child) {
+                    if (c >= 0) {
+                        co_yield MemRef::read(cells_.addr(c), 1);
+                        co_yield MemRef::read(cells_.addr(c) + 64, 1);
+                    }
+                }
+                co_yield MemRef::write(cells_.addr(cell), 1);
+                co_yield MemRef::write(cells_.addr(cell) + 64, 1);
+            }
+            co_yield MemRef::barrier(bar++);
+
+            // Phase 3: force computation — the dominant, irregular,
+            // read-shared tree walk.
+            for (std::uint64_t b = lo; b < hi; ++b) {
+                co_yield MemRef::read(bodies_.addr(b), 1);
+                co_yield MemRef::read(bodies_.addr(b) + 32, 1);
+                forceWalk(b, visited);
+                for (int cell : visited) {
+                    // subdivp reads the geometry, gravsub the mass,
+                    // centre of mass and quadrupole moments: a stream
+                    // of words from the cell record.
+                    const VAddr ca = cells_.addr(cell);
+                    co_yield MemRef::read(ca, 1);
+                    co_yield MemRef::read(ca + 16, 1);
+                    co_yield MemRef::read(ca + 32, 1);
+                    co_yield MemRef::read(ca + 56, 1);
+                    co_yield MemRef::read(ca + 80, 1);
+                    co_yield MemRef::read(ca + 104, 1);
+                }
+                co_yield MemRef::write(bodies_.addr(b), 1);
+                co_yield MemRef::write(bodies_.addr(b) + 64, 1);
+            }
+            co_yield MemRef::barrier(bar++);
+
+            // Phase 4: position/velocity update of own bodies.
+            for (std::uint64_t b = lo; b < hi; ++b) {
+                co_yield MemRef::read(bodies_.addr(b), 1);
+                co_yield MemRef::read(bodies_.addr(b) + 64, 1);
+                co_yield MemRef::write(bodies_.addr(b), 1);
+                co_yield MemRef::write(bodies_.addr(b) + 32, 1);
+            }
+            co_yield MemRef::barrier(bar++);
+        }
+    }
+
+    WorkloadParams params_;
+    std::uint64_t numBodies_;
+    unsigned timesteps_;
+    double theta_;
+
+    AddressSpace space_;
+    SharedArray<BodyImage> bodies_;
+    SharedArray<CellImage> cells_;
+
+    std::vector<double> posX_;
+    std::vector<double> posY_;
+    std::vector<QNode> nodes_;
+    std::vector<std::vector<int>> insertPaths_;
+    std::vector<int> comOrder_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBarnes(const WorkloadParams &params)
+{
+    return std::make_unique<BarnesWorkload>(params);
+}
+
+} // namespace vcoma

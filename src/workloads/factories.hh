@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Internal factory functions, one per workload translation unit.
+ * External code uses makeWorkload() from workload.hh.
+ */
+
+#ifndef VCOMA_WORKLOADS_FACTORIES_HH
+#define VCOMA_WORKLOADS_FACTORIES_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace vcoma
+{
+
+std::unique_ptr<Workload> makeRadix(const WorkloadParams &params);
+std::unique_ptr<Workload> makeFft(const WorkloadParams &params);
+std::unique_ptr<Workload> makeFmm(const WorkloadParams &params);
+std::unique_ptr<Workload> makeOcean(const WorkloadParams &params);
+std::unique_ptr<Workload> makeRaytrace(const WorkloadParams &params);
+std::unique_ptr<Workload> makeBarnes(const WorkloadParams &params);
+std::unique_ptr<Workload> makeUniform(const WorkloadParams &params);
+std::unique_ptr<Workload> makeStride(const WorkloadParams &params);
+std::unique_ptr<Workload> makeHotspot(const WorkloadParams &params);
+
+} // namespace vcoma
+
+#endif // VCOMA_WORKLOADS_FACTORIES_HH

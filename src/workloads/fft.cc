@@ -1,0 +1,218 @@
+/**
+ * @file
+ * FFT: the SPLASH-2 radix-sqrt(n) six-step 1D FFT.
+ *
+ * The n complex points live in a sqrt(n) x sqrt(n) matrix partitioned
+ * by rows; the algorithm alternates all-to-all transposes (each
+ * processor reads a column block owned by every other processor) with
+ * local 1D FFTs over its own rows and a twiddle-factor multiply
+ * against the shared, read-only roots-of-unity array. The transposes
+ * generate the bulk writes whose later write-backs hurt the L2-TLB
+ * (Figure 8's write-back effect).
+ */
+
+#include <string>
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "workloads/factories.hh"
+#include "workloads/workload.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+/** One complex double (re, im) = 16 bytes. */
+struct Complex
+{
+    double re;
+    double im;
+};
+
+class FftWorkload : public Workload
+{
+  public:
+    explicit FftWorkload(const WorkloadParams &params)
+        : params_(params),
+          m_(scaledLogPoints(params.scale)),
+          dim_(std::uint64_t{1} << (m_ / 2)),
+          x_(space_, "fft.x", dim_ * dim_),
+          trans_(space_, "fft.trans", dim_ * dim_),
+          umain_(space_, "fft.umain", dim_)
+    {
+        if (m_ % 2 != 0)
+            fatal("FFT: -m must be even (square matrix)");
+        if (dim_ % params.threads != 0)
+            fatal("FFT: matrix rows (", dim_,
+                  ") not divisible by threads (", params.threads, ")");
+    }
+
+    std::string name() const override { return "FFT"; }
+
+    std::string
+    parameters() const override
+    {
+        return "-m" + std::to_string(m_) + " -t";
+    }
+
+    unsigned numThreads() const override { return params_.threads; }
+    const AddressSpace &space() const override { return space_; }
+
+    Generator<MemRef> thread(unsigned tid) override { return body(tid); }
+
+  private:
+    static unsigned
+    scaledLogPoints(double scale)
+    {
+        // scale 1 -> 2^16 points; every 4x of scale adds 2 to m.
+        unsigned m = 16;
+        double s = scale;
+        while (s >= 4.0) {
+            m += 2;
+            s /= 4.0;
+        }
+        while (s <= 0.25 && m > 10) {
+            m -= 2;
+            s *= 4.0;
+        }
+        return m;
+    }
+
+    VAddr
+    xAddr(std::uint64_t row, std::uint64_t col) const
+    {
+        return x_.addr(row * dim_ + col);
+    }
+
+    VAddr
+    tAddr(std::uint64_t row, std::uint64_t col) const
+    {
+        return trans_.addr(row * dim_ + col);
+    }
+
+    /**
+     * Blocked transpose of @p src into @p dst, emitting this thread's
+     * share: it produces its own destination rows, reading the
+     * source column-wise across every other processor's partition.
+     */
+    Generator<MemRef>
+    body(unsigned tid)
+    {
+        const unsigned P = params_.threads;
+        const std::uint64_t rowsPerProc = dim_ / P;
+        const std::uint64_t lo = tid * rowsPerProc;
+        const std::uint64_t hi = lo + rowsPerProc;
+        constexpr std::uint64_t blockFactor = 8;
+        std::uint32_t bar = 0;
+
+        // Step 1: transpose x -> trans (blocked, as in SPLASH-2:
+        // BxB tiles keep the strided side's pages resident).
+        for (std::uint64_t rb = lo; rb < hi; rb += blockFactor) {
+            for (std::uint64_t cb = 0; cb < dim_; cb += blockFactor) {
+                for (std::uint64_t r = rb;
+                     r < std::min(rb + blockFactor, hi); ++r) {
+                    for (std::uint64_t c = cb;
+                         c < std::min(cb + blockFactor, dim_); ++c) {
+                        co_yield MemRef::read(xAddr(c, r), 1);
+                        co_yield MemRef::read(xAddr(c, r) + 8, 1);
+                        co_yield MemRef::write(tAddr(r, c), 1);
+                        co_yield MemRef::write(tAddr(r, c) + 8, 1);
+                    }
+                }
+            }
+        }
+        co_yield MemRef::barrier(bar++);
+
+        // Step 2: 1D FFTs over this processor's rows of trans.
+        const unsigned logDim = floorLog2(dim_);
+        for (std::uint64_t r = lo; r < hi; ++r) {
+            for (unsigned pass = 0; pass < logDim; ++pass) {
+                for (std::uint64_t c = 0; c < dim_; c += 2) {
+                    co_yield MemRef::read(tAddr(r, c), 3);
+                    co_yield MemRef::read(tAddr(r, c + 1), 3);
+                    co_yield MemRef::write(tAddr(r, c), 3);
+                    co_yield MemRef::write(tAddr(r, c + 1), 3);
+                }
+            }
+        }
+
+        // Step 3: twiddle multiply against the shared roots array.
+        for (std::uint64_t r = lo; r < hi; ++r) {
+            for (std::uint64_t c = 0; c < dim_; ++c) {
+                co_yield MemRef::read(umain_.addr(c), 2);
+                co_yield MemRef::read(tAddr(r, c), 2);
+                co_yield MemRef::write(tAddr(r, c), 2);
+            }
+        }
+        co_yield MemRef::barrier(bar++);
+
+        // Step 4: transpose trans -> x (blocked).
+        for (std::uint64_t rb = lo; rb < hi; rb += blockFactor) {
+            for (std::uint64_t cb = 0; cb < dim_; cb += blockFactor) {
+                for (std::uint64_t r = rb;
+                     r < std::min(rb + blockFactor, hi); ++r) {
+                    for (std::uint64_t c = cb;
+                         c < std::min(cb + blockFactor, dim_); ++c) {
+                        co_yield MemRef::read(tAddr(c, r), 1);
+                        co_yield MemRef::read(tAddr(c, r) + 8, 1);
+                        co_yield MemRef::write(xAddr(r, c), 1);
+                        co_yield MemRef::write(xAddr(r, c) + 8, 1);
+                    }
+                }
+            }
+        }
+        co_yield MemRef::barrier(bar++);
+
+        // Step 5: second round of row FFTs, on x.
+        for (std::uint64_t r = lo; r < hi; ++r) {
+            for (unsigned pass = 0; pass < logDim; ++pass) {
+                for (std::uint64_t c = 0; c < dim_; c += 2) {
+                    co_yield MemRef::read(xAddr(r, c), 3);
+                    co_yield MemRef::read(xAddr(r, c + 1), 3);
+                    co_yield MemRef::write(xAddr(r, c), 3);
+                    co_yield MemRef::write(xAddr(r, c + 1), 3);
+                }
+            }
+        }
+        co_yield MemRef::barrier(bar++);
+
+        // Step 6: final transpose x -> trans (blocked).
+        for (std::uint64_t rb = lo; rb < hi; rb += blockFactor) {
+            for (std::uint64_t cb = 0; cb < dim_; cb += blockFactor) {
+                for (std::uint64_t r = rb;
+                     r < std::min(rb + blockFactor, hi); ++r) {
+                    for (std::uint64_t c = cb;
+                         c < std::min(cb + blockFactor, dim_); ++c) {
+                        co_yield MemRef::read(xAddr(c, r), 1);
+                        co_yield MemRef::read(xAddr(c, r) + 8, 1);
+                        co_yield MemRef::write(tAddr(r, c), 1);
+                        co_yield MemRef::write(tAddr(r, c) + 8, 1);
+                    }
+                }
+            }
+        }
+        co_yield MemRef::barrier(bar++);
+    }
+
+    WorkloadParams params_;
+    unsigned m_;
+    std::uint64_t dim_;
+    AddressSpace space_;
+    SharedArray<Complex> x_;
+    SharedArray<Complex> trans_;
+    SharedArray<Complex> umain_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFft(const WorkloadParams &params)
+{
+    return std::make_unique<FftWorkload>(params);
+}
+
+} // namespace vcoma

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * FMM: the access pattern of the SPLASH-2 adaptive fast multipole
+ * method, realised as a uniform 2D FMM over a quadtree of cells:
+ * P2M on the leaves, M2M up the tree, M2L across each cell's
+ * interaction list (the read-shared phase that dominates
+ * communication), L2L back down, and L2P plus direct P2P among
+ * neighbouring leaves.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/workload.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+/** One cell's multipole + local expansion image (256 bytes). */
+struct ExpansionImage
+{
+    unsigned char bytes[256];
+};
+
+/** One particle record (64 bytes: position, velocity, field). */
+struct ParticleImage
+{
+    unsigned char bytes[64];
+};
+
+class FmmWorkload : public Workload
+{
+  public:
+    explicit FmmWorkload(const WorkloadParams &params)
+        : params_(params),
+          numParticles_(scaledParticles(params.scale)),
+          levels_(6),
+          timesteps_(2)
+    {
+        buildHost();
+        particles_ = SharedArray<ParticleImage>(space_, "fmm.particles",
+                                                numParticles_);
+        cells_ = SharedArray<ExpansionImage>(space_, "fmm.cells",
+                                             totalCells());
+    }
+
+    std::string name() const override { return "FMM"; }
+
+    std::string
+    parameters() const override
+    {
+        return std::to_string(numParticles_) + " particles";
+    }
+
+    unsigned numThreads() const override { return params_.threads; }
+    const AddressSpace &space() const override { return space_; }
+
+    Generator<MemRef> thread(unsigned tid) override { return body(tid); }
+
+  private:
+    static std::uint64_t
+    scaledParticles(double scale)
+    {
+        return std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(16384 * scale), 512);
+    }
+
+    /** Cells above level l (prefix offset into the cell array). */
+    std::uint64_t
+    levelOffset(unsigned l) const
+    {
+        std::uint64_t off = 0;
+        for (unsigned i = 0; i < l; ++i)
+            off += std::uint64_t{1} << (2 * i);
+        return off;
+    }
+
+    std::uint64_t
+    totalCells() const
+    {
+        return levelOffset(levels_);
+    }
+
+    /** Flat cell index of (l, gx, gy). */
+    std::uint64_t
+    cellIndex(unsigned l, unsigned gx, unsigned gy) const
+    {
+        const unsigned side = 1u << l;
+        return levelOffset(l) + std::uint64_t{gy} * side + gx;
+    }
+
+    void
+    buildHost()
+    {
+        Rng rng(params_.seed * 0x41c64e6dULL + 7);
+        const unsigned leafLevel = levels_ - 1;
+        const unsigned side = 1u << leafLevel;
+        leafParticles_.assign(std::uint64_t{side} * side, {});
+        for (std::uint64_t p = 0; p < numParticles_; ++p) {
+            const double x = rng.uniform();
+            const double y = rng.uniform();
+            const unsigned gx =
+                std::min<unsigned>(static_cast<unsigned>(x * side),
+                                   side - 1);
+            const unsigned gy =
+                std::min<unsigned>(static_cast<unsigned>(y * side),
+                                   side - 1);
+            leafParticles_[std::uint64_t{gy} * side + gx].push_back(p);
+        }
+
+        // The real FMM sorts particles into their boxes; renumber so
+        // that each leaf's particles are contiguous in the shared
+        // particle array (box-major order).
+        std::uint64_t next = 0;
+        for (auto &leaf : leafParticles_) {
+            for (auto &p : leaf)
+                p = next++;
+        }
+    }
+
+    /**
+     * The 2D interaction list of cell (l, gx, gy): children of the
+     * parent's neighbours that are not adjacent to the cell itself
+     * (up to 27 cells).
+     */
+    void
+    interactionList(unsigned l, unsigned gx, unsigned gy,
+                    std::vector<std::uint64_t> &out) const
+    {
+        out.clear();
+        if (l < 2)
+            return;
+        const int side = 1 << l;
+        const int px = static_cast<int>(gx) / 2;
+        const int py = static_cast<int>(gy) / 2;
+        for (int ny = py - 1; ny <= py + 1; ++ny) {
+            for (int nx = px - 1; nx <= px + 1; ++nx) {
+                if (nx < 0 || ny < 0 || nx >= side / 2 || ny >= side / 2)
+                    continue;
+                for (unsigned q = 0; q < 4; ++q) {
+                    const int cx = 2 * nx + static_cast<int>(q & 1);
+                    const int cy = 2 * ny + static_cast<int>(q >> 1);
+                    if (std::abs(cx - static_cast<int>(gx)) <= 1 &&
+                        std::abs(cy - static_cast<int>(gy)) <= 1)
+                        continue;  // adjacent: handled by P2P/L2L
+                    out.push_back(cellIndex(l, cx, cy));
+                }
+            }
+        }
+    }
+
+    Generator<MemRef>
+    body(unsigned tid)
+    {
+        const unsigned P = params_.threads;
+        const unsigned leafLevel = levels_ - 1;
+        const unsigned side = 1u << leafLevel;
+        const std::uint64_t numLeaves = std::uint64_t{side} * side;
+        std::uint32_t bar = 0;
+        std::vector<std::uint64_t> ilist;
+
+        // Leaves are partitioned contiguously (row-major bands).
+        auto leafRange = [&](std::uint64_t &lo, std::uint64_t &hi) {
+            const std::uint64_t per = (numLeaves + P - 1) / P;
+            lo = tid * per;
+            hi = std::min(lo + per, numLeaves);
+        };
+
+        for (unsigned step = 0; step < timesteps_; ++step) {
+            std::uint64_t lo, hi;
+            leafRange(lo, hi);
+
+            // P2M: leaf multipoles from their particles.
+            for (std::uint64_t leaf = lo; leaf < hi; ++leaf) {
+                for (std::uint64_t p : leafParticles_[leaf]) {
+                    co_yield MemRef::read(particles_.addr(p), 2);
+                    co_yield MemRef::read(particles_.addr(p) + 32, 2);
+                }
+                const VAddr ma =
+                    cells_.addr(levelOffset(leafLevel) + leaf);
+                for (unsigned term = 0; term < 4; ++term)
+                    co_yield MemRef::write(ma + term * 64, 2);
+            }
+            co_yield MemRef::barrier(bar++);
+
+            // M2M: upward, level by level.
+            for (unsigned l = leafLevel; l-- > 0;) {
+                const unsigned lside = 1u << l;
+                const std::uint64_t cellsHere =
+                    std::uint64_t{lside} * lside;
+                const std::uint64_t per = (cellsHere + P - 1) / P;
+                const std::uint64_t clo = tid * per;
+                const std::uint64_t chi =
+                    std::min(clo + per, cellsHere);
+                for (std::uint64_t i = clo; i < chi; ++i) {
+                    const unsigned gx =
+                        static_cast<unsigned>(i % lside);
+                    const unsigned gy =
+                        static_cast<unsigned>(i / lside);
+                    for (unsigned q = 0; q < 4; ++q) {
+                        const unsigned cx = 2 * gx + (q & 1);
+                        const unsigned cy = 2 * gy + (q >> 1);
+                        const VAddr ca =
+                            cells_.addr(cellIndex(l + 1, cx, cy));
+                        for (unsigned term = 0; term < 4; ++term)
+                            co_yield MemRef::read(ca + term * 64, 1);
+                    }
+                    const VAddr pa = cells_.addr(cellIndex(l, gx, gy));
+                    for (unsigned term = 0; term < 4; ++term)
+                        co_yield MemRef::write(pa + term * 64, 2);
+                }
+                co_yield MemRef::barrier(bar++);
+            }
+
+            // M2L: every level's interaction lists — the heavily
+            // read-shared phase.
+            for (unsigned l = 2; l <= leafLevel; ++l) {
+                const unsigned lside = 1u << l;
+                const std::uint64_t cellsHere =
+                    std::uint64_t{lside} * lside;
+                const std::uint64_t per = (cellsHere + P - 1) / P;
+                const std::uint64_t clo = tid * per;
+                const std::uint64_t chi =
+                    std::min(clo + per, cellsHere);
+                for (std::uint64_t i = clo; i < chi; ++i) {
+                    const unsigned gx =
+                        static_cast<unsigned>(i % lside);
+                    const unsigned gy =
+                        static_cast<unsigned>(i / lside);
+                    interactionList(l, gx, gy, ilist);
+                    const VAddr la = cells_.addr(cellIndex(l, gx, gy));
+                    for (std::uint64_t cell : ilist) {
+                        // A multipole-to-local translation reads the
+                        // whole expansion and accumulates into the
+                        // whole local expansion.
+                        const VAddr ca = cells_.addr(cell);
+                        for (unsigned term = 0; term < 4; ++term)
+                            co_yield MemRef::read(ca + term * 64, 2);
+                        for (unsigned term = 0; term < 4; ++term)
+                            co_yield MemRef::write(la + term * 64, 1);
+                    }
+                }
+                co_yield MemRef::barrier(bar++);
+            }
+
+            // L2L: downward.
+            for (unsigned l = 1; l <= leafLevel; ++l) {
+                const unsigned lside = 1u << l;
+                const std::uint64_t cellsHere =
+                    std::uint64_t{lside} * lside;
+                const std::uint64_t per = (cellsHere + P - 1) / P;
+                const std::uint64_t clo = tid * per;
+                const std::uint64_t chi =
+                    std::min(clo + per, cellsHere);
+                for (std::uint64_t i = clo; i < chi; ++i) {
+                    const unsigned gx =
+                        static_cast<unsigned>(i % lside);
+                    const unsigned gy =
+                        static_cast<unsigned>(i / lside);
+                    const VAddr pa =
+                        cells_.addr(cellIndex(l - 1, gx / 2, gy / 2));
+                    const VAddr ca = cells_.addr(cellIndex(l, gx, gy));
+                    for (unsigned term = 0; term < 4; ++term)
+                        co_yield MemRef::read(pa + term * 64, 1);
+                    for (unsigned term = 0; term < 4; ++term)
+                        co_yield MemRef::write(ca + term * 64, 1);
+                }
+                co_yield MemRef::barrier(bar++);
+            }
+
+            // L2P + P2P: evaluate at own particles and interact with
+            // neighbouring leaves' particles directly.
+            for (std::uint64_t leaf = lo; leaf < hi; ++leaf) {
+                const unsigned gx = static_cast<unsigned>(leaf % side);
+                const unsigned gy = static_cast<unsigned>(leaf / side);
+                co_yield MemRef::read(
+                    cells_.addr(levelOffset(leafLevel) + leaf), 3);
+                for (int ny = static_cast<int>(gy) - 1;
+                     ny <= static_cast<int>(gy) + 1; ++ny) {
+                    for (int nx = static_cast<int>(gx) - 1;
+                         nx <= static_cast<int>(gx) + 1; ++nx) {
+                        if (nx < 0 || ny < 0 ||
+                            nx >= static_cast<int>(side) ||
+                            ny >= static_cast<int>(side))
+                            continue;
+                        const std::uint64_t nleaf =
+                            std::uint64_t(ny) * side + nx;
+                        for (std::uint64_t p : leafParticles_[nleaf]) {
+                            co_yield MemRef::read(particles_.addr(p),
+                                                  2);
+                            co_yield MemRef::read(
+                                particles_.addr(p) + 32, 2);
+                        }
+                    }
+                }
+                for (std::uint64_t p : leafParticles_[leaf]) {
+                    co_yield MemRef::write(particles_.addr(p), 2);
+                    co_yield MemRef::write(particles_.addr(p) + 32, 2);
+                }
+            }
+            co_yield MemRef::barrier(bar++);
+        }
+    }
+
+    WorkloadParams params_;
+    std::uint64_t numParticles_;
+    unsigned levels_;
+    unsigned timesteps_;
+
+    AddressSpace space_;
+    SharedArray<ParticleImage> particles_;
+    SharedArray<ExpansionImage> cells_;
+
+    std::vector<std::vector<std::uint64_t>> leafParticles_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFmm(const WorkloadParams &params)
+{
+    return std::make_unique<FmmWorkload>(params);
+}
+
+} // namespace vcoma

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * RADIX: the SPLASH-2 parallel radix sort kernel.
+ *
+ * Each pass histograms one digit of the keys, computes global rank
+ * offsets with a tree-structured parallel prefix, then permutes every
+ * key into a large shared output array distributed over all nodes —
+ * the scattered permutation writes are the coherence traffic the
+ * paper highlights ("a key is written into a large output array
+ * shared and distributed among all nodes", Section 5.2). The sort is
+ * executed for real over host data, so the emitted destinations are
+ * the true ranks.
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/workload.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+class RadixWorkload : public Workload
+{
+  public:
+    explicit RadixWorkload(const WorkloadParams &params)
+        : params_(params),
+          numKeys_(scaledKeys(params.scale)),
+          radixBits_(11),
+          maxKeyBits_(22),
+          keys0_(space_, "radix.keys0", numKeys_),
+          keys1_(space_, "radix.keys1", numKeys_),
+          histogram_(space_, "radix.histogram",
+                     std::uint64_t{params.threads} << radixBits_),
+          offsets_(space_, "radix.offsets", std::uint64_t{1} << radixBits_)
+    {
+        if (numKeys_ % params.threads != 0)
+            fatal("RADIX: keys (", numKeys_, ") not divisible by threads");
+        // Host keys: uniform random in [0, 2^maxKeyBits).
+        Rng rng(params.seed * 0x9e3779b9ULL + 17);
+        host_[0].resize(numKeys_);
+        host_[1].assign(numKeys_, 0);
+        for (auto &k : host_[0])
+            k = static_cast<std::uint32_t>(rng.below(
+                std::uint64_t{1} << maxKeyBits_));
+        const unsigned passes =
+            (maxKeyBits_ + radixBits_ - 1) / radixBits_;
+        passes_ = passes;
+        hist_.assign(params.threads,
+                     std::vector<std::uint32_t>(radix(), 0));
+        nextFree_.assign(params.threads,
+                         std::vector<std::uint32_t>(radix(), 0));
+    }
+
+    std::string name() const override { return "RADIX"; }
+
+    std::string
+    parameters() const override
+    {
+        return "-n" + std::to_string(numKeys_) + " -r" +
+               std::to_string(radix()) + " -m" +
+               std::to_string(std::uint64_t{1} << maxKeyBits_);
+    }
+
+    unsigned numThreads() const override { return params_.threads; }
+    const AddressSpace &space() const override { return space_; }
+
+    Generator<MemRef> thread(unsigned tid) override { return body(tid); }
+
+    /** Host view of the (sorted, after a run) keys — for tests. */
+    const std::vector<std::uint32_t> &
+    hostKeys() const
+    {
+        return host_[passes_ % 2];
+    }
+
+  private:
+    static std::uint64_t
+    scaledKeys(double scale)
+    {
+        auto n = static_cast<std::uint64_t>(262144 * scale);
+        // Keep divisible by any power-of-two thread count up to 64.
+        return std::max<std::uint64_t>(alignUp(n, 4096), 4096);
+    }
+
+    std::uint32_t radix() const { return 1u << radixBits_; }
+
+    std::uint32_t
+    digit(std::uint32_t key, unsigned pass) const
+    {
+        return (key >> (pass * radixBits_)) & (radix() - 1);
+    }
+
+    Generator<MemRef>
+    body(unsigned tid)
+    {
+        const unsigned P = params_.threads;
+        const std::uint64_t perProc = numKeys_ / P;
+        const std::uint64_t lo = tid * perProc;
+        const std::uint64_t hi = lo + perProc;
+        std::uint32_t bar = 0;
+
+        for (unsigned pass = 0; pass < passes_; ++pass) {
+            const SharedArray<std::uint32_t> &src =
+                (pass % 2 == 0) ? keys0_ : keys1_;
+            const SharedArray<std::uint32_t> &dst =
+                (pass % 2 == 0) ? keys1_ : keys0_;
+            const std::vector<std::uint32_t> &hostSrc = host_[pass % 2];
+            std::vector<std::uint32_t> &hostDst = host_[1 - pass % 2];
+
+            // Phase 1: local histogram over this processor's keys.
+            auto &myHist = hist_[tid];
+            std::fill(myHist.begin(), myHist.end(), 0);
+            for (std::uint64_t i = lo; i < hi; ++i) {
+                ++myHist[digit(hostSrc[i], pass)];
+                co_yield MemRef::read(src.addr(i), 2);
+            }
+            for (std::uint32_t b = 0; b < radix(); ++b) {
+                co_yield MemRef::write(
+                    histogram_.addr(std::uint64_t{tid} * radix() + b), 1);
+            }
+            co_yield MemRef::barrier(bar++);
+
+            // Phase 2: tree-structured parallel reduction of the
+            // histograms (the SPLASH-2 prefix tree), then processor 0
+            // publishes the global bucket offsets.
+            for (unsigned step = 1; step < P; step <<= 1) {
+                if (tid % (2 * step) == 0 && tid + step < P) {
+                    const unsigned partner = tid + step;
+                    for (std::uint32_t b = 0; b < radix(); ++b) {
+                        co_yield MemRef::read(
+                            histogram_.addr(
+                                std::uint64_t{partner} * radix() + b),
+                            1);
+                        co_yield MemRef::write(
+                            histogram_.addr(
+                                std::uint64_t{tid} * radix() + b),
+                            1);
+                    }
+                }
+                co_yield MemRef::barrier(bar++);
+            }
+            if (tid == 0) {
+                for (std::uint32_t b = 0; b < radix(); ++b)
+                    co_yield MemRef::write(offsets_.addr(b), 2);
+            }
+            co_yield MemRef::barrier(bar++);
+
+            // Host-side exact ranks: start[p][b] = total keys in
+            // buckets < b plus keys of bucket b at processors < p.
+            {
+                auto &mine = nextFree_[tid];
+                std::uint32_t running = 0;
+                for (std::uint32_t b = 0; b < radix(); ++b) {
+                    std::uint32_t start = running;
+                    for (unsigned p = 0; p < static_cast<unsigned>(tid);
+                         ++p)
+                        start += hist_[p][b];
+                    mine[b] = start;
+                    for (unsigned p = 0; p < P; ++p)
+                        running += hist_[p][b];
+                }
+            }
+
+            // Phase 3: permutation — every key is written to its
+            // global rank in the shared output array.
+            for (std::uint64_t i = lo; i < hi; ++i) {
+                const std::uint32_t key = hostSrc[i];
+                const std::uint32_t b = digit(key, pass);
+                const std::uint32_t dest = nextFree_[tid][b]++;
+                hostDst[dest] = key;
+                co_yield MemRef::read(src.addr(i), 2);
+                // Rank offsets are re-read as the permutation runs.
+                co_yield MemRef::read(offsets_.addr(b), 1);
+                co_yield MemRef::write(dst.addr(dest), 2);
+            }
+            co_yield MemRef::barrier(bar++);
+        }
+
+        // Check phase (as in the SPLASH-2 program): each processor
+        // scans its slice of the sorted output; the run aborts if the
+        // radix sort produced an unsorted array.
+        const std::vector<std::uint32_t> &result = host_[passes_ % 2];
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            if (i > 0 && result[i - 1] > result[i])
+                panic("RADIX: output not sorted at index ", i);
+            co_yield MemRef::read(
+                ((passes_ % 2 == 0) ? keys0_ : keys1_).addr(i), 1);
+        }
+        co_yield MemRef::barrier(bar++);
+    }
+
+    WorkloadParams params_;
+    std::uint64_t numKeys_;
+    unsigned radixBits_;
+    unsigned maxKeyBits_;
+    unsigned passes_ = 0;
+
+    AddressSpace space_;
+    SharedArray<std::uint32_t> keys0_;
+    SharedArray<std::uint32_t> keys1_;
+    SharedArray<std::uint32_t> histogram_;
+    SharedArray<std::uint32_t> offsets_;
+
+    std::vector<std::uint32_t> host_[2];
+    std::vector<std::vector<std::uint32_t>> hist_;
+    std::vector<std::vector<std::uint32_t>> nextFree_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRadix(const WorkloadParams &params)
+{
+    return std::make_unique<RadixWorkload>(params);
+}
+
+} // namespace vcoma

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * RAYTRACE: the SPLASH-2 ray tracer's access pattern.
+ *
+ * Processors pull tiles of the image from a lock-protected central
+ * work queue, trace the tile's rays through a large read-shared scene
+ * structure, push/pop ray-tree records on their *per-processor
+ * raystruct stack*, and write the frame buffer.
+ *
+ * The raystruct stacks reproduce the paper's layout experiment
+ * (Section 5.3): the original code pads each processor's stack to a
+ * 32 KB alignment to avoid false sharing. Under V-COMA the stack's
+ * hot page then lands on a page colour that is a multiple of 8, so
+ * all 32 stacks' hot pages are homed on only 4 of the 32 nodes and
+ * crowd the same global page sets. The DLB/8/V2 variant
+ * (raytraceV2Layout) aligns the padding to one page instead, which
+ * spreads colours and homes and removes the conflicts.
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/workload.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+/** One 128-byte scene block (BVH node / geometry record). */
+struct SceneBlock
+{
+    unsigned char bytes[128];
+};
+
+class RaytraceWorkload : public Workload
+{
+  public:
+    explicit RaytraceWorkload(const WorkloadParams &params)
+        : params_(params),
+          imageDim_(scaledImage(params.scale)),
+          tileDim_(16),
+          sceneBlocks_(scaledScene(params.scale)),
+          scene_(space_, "raytrace.scene", sceneBlocks_),
+          frame_(space_, "raytrace.frame",
+                 std::uint64_t{imageDim_} * imageDim_),
+          queue_(space_, "raytrace.queue", 16)
+    {
+        // The per-processor ray-tree stacks ("raystruct"): the
+        // original layout pads to 32 KB boundaries; the V2 layout
+        // aligns to one page (Figure 10's DLB/8/V2).
+        const std::uint64_t align =
+            params.raytraceV2Layout ? 4096 : 32768;
+        stacks_.reserve(params.threads);
+        for (unsigned p = 0; p < params.threads; ++p) {
+            // 8 KB of stack per processor; the alignment (32 KB vs
+            // one page) is the whole experiment.
+            stacks_.emplace_back(
+                space_, "raytrace.raystruct" + std::to_string(p),
+                std::uint64_t{2048}, align);
+        }
+    }
+
+    std::string name() const override { return "RAYTRACE"; }
+
+    std::string
+    parameters() const override
+    {
+        return std::string("car(synthetic) ") +
+               std::to_string(imageDim_) + "x" +
+               std::to_string(imageDim_) +
+               (params_.raytraceV2Layout ? " V2-layout" : "");
+    }
+
+    unsigned numThreads() const override { return params_.threads; }
+    const AddressSpace &space() const override { return space_; }
+
+    Generator<MemRef> thread(unsigned tid) override { return body(tid); }
+
+  private:
+    static unsigned
+    scaledImage(double scale)
+    {
+        unsigned dim = 192;
+        double s = scale;
+        while (s >= 4.0) {
+            dim *= 2;
+            s /= 4.0;
+        }
+        return dim;
+    }
+
+    static std::uint64_t
+    scaledScene(double scale)
+    {
+        // ~3 MB of scene at scale 1: large enough that replication
+        // fills the attraction-memory colour stripes.
+        return static_cast<std::uint64_t>(24576 * std::min(scale, 8.0));
+    }
+
+    static std::uint64_t
+    mix(std::uint64_t v)
+    {
+        v ^= v >> 33;
+        v *= 0xff51afd7ed558ccdULL;
+        v ^= v >> 33;
+        return v;
+    }
+
+    Generator<MemRef>
+    body(unsigned tid)
+    {
+        const unsigned tilesPerRow = imageDim_ / tileDim_;
+        const unsigned numTiles = tilesPerRow * tilesPerRow;
+        constexpr std::uint32_t queueLock = 1;
+        const SharedArray<std::uint32_t> &stack = stacks_[tid];
+        const std::uint64_t stackEntries = stack.count() * 4 / 64;
+
+        while (true) {
+            // Pull the next tile from the central work queue.
+            co_yield MemRef::lock(queueLock);
+            co_yield MemRef::read(queue_.addr(0), 2);
+            const unsigned tile = nextTile_++;
+            co_yield MemRef::write(queue_.addr(0), 2);
+            co_yield MemRef::unlock(queueLock);
+            if (tile >= numTiles)
+                break;
+
+            const unsigned tx = tile % tilesPerRow;
+            const unsigned ty = tile / tilesPerRow;
+            // Rays of one tile share a neighbourhood of the scene.
+            const std::uint64_t cluster =
+                mix(params_.seed * 1000003ULL + tile) % sceneBlocks_;
+            // Reflections within one tile hit a coherent secondary
+            // region of the scene too.
+            const std::uint64_t cluster2 =
+                mix(params_.seed * 7368787ULL + tile) % sceneBlocks_;
+
+            for (unsigned py = 0; py < tileDim_; ++py) {
+                for (unsigned px = 0; px < tileDim_; ++px) {
+                    const std::uint64_t pixel =
+                        std::uint64_t(ty * tileDim_ + py) * imageDim_ +
+                        (tx * tileDim_ + px);
+                    std::uint64_t h =
+                        mix(pixel * 0x9e3779b97f4a7c15ULL + 11);
+
+                    // Every ray enters through the top of the BVH:
+                    // a handful of hot root blocks shared by all.
+                    for (unsigned v = 0; v < 2; ++v) {
+                        co_yield MemRef::read(
+                            scene_.addr((h >> v) % 8), 1);
+                    }
+
+                    // Primary + secondary rays: a short ray tree.
+                    const unsigned depth = 2 + h % 3;
+                    unsigned sp = 0;
+                    for (unsigned level = 0; level < depth; ++level) {
+                        // Push a ray record on the raystruct stack.
+                        const VAddr rec =
+                            stack.addr((sp % stackEntries) * 16);
+                        co_yield MemRef::write(rec, 1);
+                        co_yield MemRef::write(rec + 32, 1);
+                        ++sp;
+                        // Descend through the tile's neighbourhood of
+                        // the scene: intersection tests read several
+                        // words of each candidate block.
+                        const unsigned visits = 3 + (h >> 8) % 3;
+                        for (unsigned v = 0; v < visits; ++v) {
+                            const std::uint64_t idx =
+                                (cluster + v + 7 * level +
+                                 ((h >> (2 * v)) & 3)) %
+                                sceneBlocks_;
+                            const VAddr blk = scene_.addr(idx);
+                            co_yield MemRef::read(blk, 1);
+                            co_yield MemRef::read(blk + 48, 1);
+                            co_yield MemRef::read(blk + 96, 1);
+                        }
+                        // Shadow/reflection rays leave the primary
+                        // neighbourhood but stay coherent within the
+                        // tile; one ray in eight escapes completely.
+                        h = mix(h + level);
+                        const std::uint64_t fidx =
+                            (h & 7) == 0
+                                ? h % sceneBlocks_
+                                : (cluster2 + (h & 15)) % sceneBlocks_;
+                        const VAddr far = scene_.addr(fidx);
+                        co_yield MemRef::read(far, 1);
+                        co_yield MemRef::read(far + 64, 1);
+                    }
+                    // Unwind the ray tree.
+                    while (sp > 0) {
+                        --sp;
+                        const VAddr rec =
+                            stack.addr((sp % stackEntries) * 16);
+                        co_yield MemRef::read(rec, 1);
+                        co_yield MemRef::read(rec + 32, 1);
+                    }
+                    co_yield MemRef::write(frame_.addr(pixel), 2);
+                }
+            }
+        }
+        co_yield MemRef::barrier(0);
+    }
+
+    WorkloadParams params_;
+    unsigned imageDim_;
+    unsigned tileDim_;
+    std::uint64_t sceneBlocks_;
+
+    AddressSpace space_;
+    SharedArray<SceneBlock> scene_;
+    SharedArray<std::uint32_t> frame_;
+    SharedArray<std::uint32_t> queue_;
+    std::vector<SharedArray<std::uint32_t>> stacks_;
+
+    unsigned nextTile_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRaytrace(const WorkloadParams &params)
+{
+    return std::make_unique<RaytraceWorkload>(params);
+}
+
+} // namespace vcoma

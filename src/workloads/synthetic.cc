@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Synthetic reference generators used by tests and micro-benchmarks:
+ * UNIFORM issues reads/writes uniformly over a shared region; STRIDE
+ * sweeps it with a fixed stride. Both are barrier-phased so every
+ * simulated processor participates.
+ */
+
+#include <string>
+
+#include "common/rng.hh"
+#include "workloads/factories.hh"
+#include "workloads/workload.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+/** Uniform random traffic over one shared segment. */
+class UniformWorkload : public Workload
+{
+  public:
+    explicit UniformWorkload(const WorkloadParams &params)
+        : params_(params),
+          refsPerThread_(static_cast<std::uint64_t>(20000 * params.scale)),
+          region_(space_, "uniform.data",
+                  static_cast<std::uint64_t>(64 * 1024 * params.scale))
+    {
+    }
+
+    std::string name() const override { return "UNIFORM"; }
+
+    std::string
+    parameters() const override
+    {
+        return "refs/thread=" + std::to_string(refsPerThread_) +
+               " bytes=" + std::to_string(region_.count());
+    }
+
+    unsigned numThreads() const override { return params_.threads; }
+
+    const AddressSpace &space() const override { return space_; }
+
+    Generator<MemRef>
+    thread(unsigned tid) override
+    {
+        return body(tid);
+    }
+
+  private:
+    Generator<MemRef>
+    body(unsigned tid)
+    {
+        Rng rng(params_.seed * 1315423911ULL + tid);
+        const std::uint64_t words = region_.count() / 8;
+        for (std::uint64_t i = 0; i < refsPerThread_; ++i) {
+            const VAddr a = region_.base() + rng.below(words) * 8;
+            if (rng.below(4) == 0)
+                co_yield MemRef::write(a, 4);
+            else
+                co_yield MemRef::read(a, 4);
+        }
+        co_yield MemRef::barrier(0);
+    }
+
+    WorkloadParams params_;
+    std::uint64_t refsPerThread_;
+    AddressSpace space_;
+    SharedArray<std::uint8_t> region_;
+};
+
+/** Strided sweeps over a shared segment, one stripe per thread. */
+class StrideWorkload : public Workload
+{
+  public:
+    explicit StrideWorkload(const WorkloadParams &params)
+        : params_(params),
+          sweeps_(4),
+          region_(space_, "stride.data",
+                  static_cast<std::uint64_t>(256 * 1024 * params.scale))
+    {
+    }
+
+    std::string name() const override { return "STRIDE"; }
+
+    std::string
+    parameters() const override
+    {
+        return "sweeps=" + std::to_string(sweeps_) +
+               " bytes=" + std::to_string(region_.count());
+    }
+
+    unsigned numThreads() const override { return params_.threads; }
+
+    const AddressSpace &space() const override { return space_; }
+
+    Generator<MemRef>
+    thread(unsigned tid) override
+    {
+        return body(tid);
+    }
+
+  private:
+    Generator<MemRef>
+    body(unsigned tid)
+    {
+        const std::uint64_t bytes = region_.count();
+        const std::uint64_t chunk = bytes / params_.threads;
+        const VAddr base = region_.base() + tid * chunk;
+        std::uint32_t bar = 0;
+        for (unsigned sweep = 0; sweep < sweeps_; ++sweep) {
+            for (std::uint64_t off = 0; off < chunk; off += 64) {
+                co_yield MemRef::read(base + off, 2);
+                co_yield MemRef::write(base + off, 2);
+            }
+            co_yield MemRef::barrier(bar++);
+            // Read the next thread's stripe: migratory sharing.
+            const unsigned next = (tid + 1) % params_.threads;
+            const VAddr nbase = region_.base() + next * chunk;
+            for (std::uint64_t off = 0; off < chunk; off += 64)
+                co_yield MemRef::read(nbase + off, 2);
+            co_yield MemRef::barrier(bar++);
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned sweeps_;
+    AddressSpace space_;
+    SharedArray<std::uint8_t> region_;
+};
+
+/**
+ * Adversarial virtual layout (Section 6's "danger"): every region is
+ * aligned to numColours * pageSize bytes (1 MB with the baseline
+ * geometry), so every page lands in the same global page set. The
+ * pressure concentrates on one colour and, past the threshold, the
+ * page daemon must swap even though the other sets are empty.
+ */
+class HotspotWorkload : public Workload
+{
+  public:
+    explicit HotspotWorkload(const WorkloadParams &params)
+        : params_(params),
+          regions_(static_cast<unsigned>(192 * params.scale))
+    {
+        bases_.reserve(regions_);
+        for (unsigned r = 0; r < regions_; ++r) {
+            bases_.push_back(space_.alloc(
+                "hotspot.region" + std::to_string(r), 4096,
+                /*align=*/256 * 4096));
+        }
+    }
+
+    std::string name() const override { return "HOTSPOT"; }
+
+    std::string
+    parameters() const override
+    {
+        return std::to_string(regions_) +
+               " regions, all on one page colour";
+    }
+
+    unsigned numThreads() const override { return params_.threads; }
+    const AddressSpace &space() const override { return space_; }
+
+    Generator<MemRef> thread(unsigned tid) override { return body(tid); }
+
+  private:
+    Generator<MemRef>
+    body(unsigned tid)
+    {
+        const unsigned P = params_.threads;
+        for (unsigned sweep = 0; sweep < 4; ++sweep) {
+            for (unsigned r = tid; r < regions_; r += P) {
+                for (unsigned off = 0; off < 4096; off += 128) {
+                    co_yield MemRef::read(bases_[r] + off, 2);
+                    if (off % 512 == 0)
+                        co_yield MemRef::write(bases_[r] + off, 2);
+                }
+            }
+            co_yield MemRef::barrier(sweep);
+        }
+    }
+
+    WorkloadParams params_;
+    unsigned regions_;
+    AddressSpace space_;
+    std::vector<VAddr> bases_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeUniform(const WorkloadParams &params)
+{
+    return std::make_unique<UniformWorkload>(params);
+}
+
+std::unique_ptr<Workload>
+makeStride(const WorkloadParams &params)
+{
+    return std::make_unique<StrideWorkload>(params);
+}
+
+std::unique_ptr<Workload>
+makeHotspot(const WorkloadParams &params)
+{
+    return std::make_unique<HotspotWorkload>(params);
+}
+
+} // namespace vcoma

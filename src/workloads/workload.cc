@@ -1,0 +1,49 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+#include "workloads/factories.hh"
+
+namespace vcoma
+{
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names{
+        "RADIX", "FFT", "FMM", "OCEAN", "RAYTRACE", "BARNES",
+        "UNIFORM", "STRIDE", "HOTSPOT",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    std::string upper(name);
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    if (upper == "RADIX")
+        return makeRadix(params);
+    if (upper == "FFT")
+        return makeFft(params);
+    if (upper == "FMM")
+        return makeFmm(params);
+    if (upper == "OCEAN")
+        return makeOcean(params);
+    if (upper == "RAYTRACE")
+        return makeRaytrace(params);
+    if (upper == "BARNES")
+        return makeBarnes(params);
+    if (upper == "UNIFORM")
+        return makeUniform(params);
+    if (upper == "STRIDE")
+        return makeStride(params);
+    if (upper == "HOTSPOT")
+        return makeHotspot(params);
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace vcoma

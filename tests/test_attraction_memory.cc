@@ -1,0 +1,120 @@
+/** @file Tests for the attraction-memory structure. */
+
+#include <gtest/gtest.h>
+
+#include "coma/attraction_memory.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+CacheConfig
+smallAm()
+{
+    // 8 KB, 2-way, 128 B blocks: 32 sets. Same-set stride = 4096.
+    return CacheConfig{8192, 2, 128, false, true};
+}
+
+} // namespace
+
+TEST(AttractionMemory, InstallAndFind)
+{
+    AttractionMemory am("am", smallAm());
+    const auto v = am.chooseVictim(0x1000);
+    EXPECT_EQ(v.kind, VictimKind::Empty);
+    am.installAt(v.lineIndex, 0x1000, AmState::MasterShared, 7);
+    const AmLine *line = am.find(0x1000);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, AmState::MasterShared);
+    EXPECT_EQ(line->version, 7u);
+    EXPECT_EQ(am.state(0x1080), AmState::Invalid);  // other block
+    // Sub-block addresses resolve to the same line.
+    EXPECT_EQ(am.find(0x107F), line);
+}
+
+TEST(AttractionMemory, VictimPreferenceInvalidSharedOwned)
+{
+    AttractionMemory am("am", smallAm());
+    // Fill one way with Shared, leave the other Invalid.
+    auto v1 = am.chooseVictim(0x0);
+    am.installAt(v1.lineIndex, 0x0, AmState::Shared, 0);
+    auto v2 = am.chooseVictim(0x1000);  // same set (stride 4096)
+    EXPECT_EQ(v2.kind, VictimKind::Empty);
+    am.installAt(v2.lineIndex, 0x1000, AmState::Exclusive, 0);
+    // Set is full now: Shared preferred over Owned.
+    auto v3 = am.chooseVictim(0x2000);
+    EXPECT_EQ(v3.kind, VictimKind::Shared);
+    EXPECT_EQ(am.line(v3.lineIndex).key, 0x0u);
+}
+
+TEST(AttractionMemory, OwnedVictimWhenAllOwned)
+{
+    AttractionMemory am("am", smallAm());
+    auto v1 = am.chooseVictim(0x0);
+    am.installAt(v1.lineIndex, 0x0, AmState::Exclusive, 0);
+    auto v2 = am.chooseVictim(0x1000);
+    am.installAt(v2.lineIndex, 0x1000, AmState::MasterShared, 0);
+    am.touch(0x0);  // refresh 0x0: 0x1000 becomes the LRU owned block
+    auto v3 = am.chooseVictim(0x2000);
+    EXPECT_EQ(v3.kind, VictimKind::Owned);
+    EXPECT_EQ(am.line(v3.lineIndex).key, 0x1000u);
+}
+
+TEST(AttractionMemory, InjectionVictimNeverOwned)
+{
+    AttractionMemory am("am", smallAm());
+    auto v1 = am.chooseVictim(0x0);
+    am.installAt(v1.lineIndex, 0x0, AmState::Exclusive, 0);
+    auto v2 = am.chooseVictim(0x1000);
+    am.installAt(v2.lineIndex, 0x1000, AmState::Exclusive, 0);
+    VictimChoice out;
+    EXPECT_FALSE(am.chooseInjectionVictim(0x2000, out));
+    // Replace one with Shared: injection may now take it.
+    am.invalidate(0x1000);
+    auto v3 = am.chooseVictim(0x1000);
+    am.installAt(v3.lineIndex, 0x1000, AmState::Shared, 0);
+    EXPECT_TRUE(am.chooseInjectionVictim(0x2000, out));
+    EXPECT_EQ(out.kind, VictimKind::Shared);
+}
+
+TEST(AttractionMemory, InvalidateReturnsPriorState)
+{
+    AttractionMemory am("am", smallAm());
+    auto v = am.chooseVictim(0x3000);
+    am.installAt(v.lineIndex, 0x3000, AmState::Exclusive, 0);
+    EXPECT_EQ(am.invalidate(0x3000), AmState::Exclusive);
+    EXPECT_EQ(am.invalidate(0x3000), AmState::Invalid);
+    EXPECT_EQ(am.state(0x3000), AmState::Invalid);
+}
+
+TEST(AttractionMemory, ValidLinesCount)
+{
+    AttractionMemory am("am", smallAm());
+    EXPECT_EQ(am.validLines(), 0u);
+    auto v = am.chooseVictim(0x0);
+    am.installAt(v.lineIndex, 0x0, AmState::Shared, 0);
+    EXPECT_EQ(am.validLines(), 1u);
+    am.invalidate(0x0);
+    EXPECT_EQ(am.validLines(), 0u);
+}
+
+TEST(AttractionMemory, InstallIntoOccupiedFramePanics)
+{
+    AttractionMemory am("am", smallAm());
+    auto v = am.chooseVictim(0x0);
+    am.installAt(v.lineIndex, 0x0, AmState::Shared, 0);
+    EXPECT_THROW(am.installAt(v.lineIndex, 0x1000, AmState::Shared, 0),
+                 PanicError);
+}
+
+TEST(AttractionMemory, StateNames)
+{
+    EXPECT_STREQ(amStateName(AmState::Invalid), "I");
+    EXPECT_STREQ(amStateName(AmState::Shared), "S");
+    EXPECT_STREQ(amStateName(AmState::MasterShared), "MS");
+    EXPECT_STREQ(amStateName(AmState::Exclusive), "E");
+    EXPECT_FALSE(isOwnerState(AmState::Shared));
+    EXPECT_TRUE(isOwnerState(AmState::MasterShared));
+    EXPECT_TRUE(isOwnerState(AmState::Exclusive));
+}

@@ -1,0 +1,81 @@
+/** @file Unit tests for the bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+using namespace vcoma;
+
+TEST(Bitops, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4097));
+    EXPECT_TRUE(isPowerOf2(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOf2((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(~std::uint64_t{0}), 63u);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(Bitops, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(12), 4095u);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(mask(65), ~std::uint64_t{0});
+}
+
+TEST(Bitops, Bits)
+{
+    EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(bits(0xABCD, 4, 4), 0xCu);
+    EXPECT_EQ(bits(0xABCD, 8, 8), 0xABu);
+    EXPECT_EQ(bits(0xFFFFFFFFFFFFFFFFULL, 60, 4), 0xFu);
+    EXPECT_EQ(bits(0, 5, 10), 0u);
+}
+
+TEST(Bitops, AlignUpDown)
+{
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignUp(65, 64), 128u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+    EXPECT_EQ(alignDown(129, 64), 128u);
+}
+
+/** Round-trip property: bits() of a composed value recovers fields. */
+TEST(Bitops, ComposeDecomposeProperty)
+{
+    for (unsigned lo = 0; lo < 32; lo += 3) {
+        for (unsigned width = 1; width <= 16; width += 5) {
+            const std::uint64_t field = mask(width) & 0x5A5A5A5Au;
+            const std::uint64_t value = field << lo;
+            EXPECT_EQ(bits(value, lo, width), field)
+                << "lo=" << lo << " width=" << width;
+        }
+    }
+}

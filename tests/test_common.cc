@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the common layer: stats counters/distributions, the table
+ * printer, configuration validation and scheme traits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "translation/scheme.hh"
+#include "translation/system_builder.hh"
+
+using namespace vcoma;
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    c.inc();
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    Distribution d;
+    EXPECT_EQ(d.mean(), 0.0);
+    d.sample(2);
+    d.sample(4);
+    d.sample(9);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Stats, HistogramClampsToLastBucket)
+{
+    Histogram h(4);
+    h.add(0);
+    h.add(3);
+    h.add(99);
+    EXPECT_EQ(h.at(0), 1u);
+    EXPECT_EQ(h.at(3), 2u);
+}
+
+TEST(Stats, GroupDumpContainsEntries)
+{
+    Counter c;
+    c += 42;
+    Distribution d;
+    d.sample(1.5);
+    StatGroup group("engine");
+    group.addCounter("events", c);
+    group.addDistribution("latency", d);
+    StatGroup child("sub");
+    Counter c2;
+    child.addCounter("inner", c2);
+    group.addChild(child);
+    std::ostringstream os;
+    group.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("engine:"), std::string::npos);
+    EXPECT_NE(text.find("events = 42"), std::string::npos);
+    EXPECT_NE(text.find("latency"), std::string::npos);
+    EXPECT_NE(text.find("sub:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------
+
+TEST(TablePrinter, AlignsColumnsAndPrintsCsv)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("== demo =="), std::string::npos);
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "name,value\na,1\nlonger,22\n");
+}
+
+TEST(TablePrinter, RejectsRaggedRows)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    EXPECT_THROW(t.row({"only-one"}), PanicError);
+}
+
+TEST(TablePrinter, NumFormatsDecimals)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(10, 0), "10");
+    EXPECT_EQ(Table::num(0.00042, 4), "0.0004");
+}
+
+// ---------------------------------------------------------------------
+// Config + scheme traits
+// ---------------------------------------------------------------------
+
+TEST(Config, PaperDefaultsAreValid)
+{
+    MachineConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_EQ(cfg.numGlobalPageSets(), 256u);
+    EXPECT_EQ(cfg.globalPageSetCapacity(), 128u);
+    EXPECT_EQ(cfg.blocksPerPage(), 32u);
+    EXPECT_EQ(cfg.flc.numSets(), 512u);
+    EXPECT_EQ(cfg.slc.numSets(), 256u);
+    EXPECT_EQ(cfg.am.numSets(), 8192u);
+}
+
+TEST(Config, ValidationCatchesBadShapes)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 33;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = MachineConfig{};
+    cfg.pageBytes = 3000;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = MachineConfig{};
+    cfg.flc.blockBytes = 256;  // larger than SLC blocks
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SchemeTraits, MatchSection3)
+{
+    const SchemeTraits l0 = schemeTraits(Scheme::L0);
+    EXPECT_FALSE(l0.flcVirtual);
+    EXPECT_TRUE(l0.perNodeTlb);
+    EXPECT_EQ(l0.placement, PlacementPolicy::RoundRobin);
+
+    const SchemeTraits l1 = schemeTraits(Scheme::L1);
+    EXPECT_TRUE(l1.flcVirtual);
+    EXPECT_FALSE(l1.slcVirtual);
+
+    const SchemeTraits l2 = schemeTraits(Scheme::L2);
+    EXPECT_TRUE(l2.slcVirtual);
+    EXPECT_FALSE(l2.amVirtual);
+
+    const SchemeTraits l3 = schemeTraits(Scheme::L3);
+    EXPECT_TRUE(l3.amVirtual);
+    EXPECT_TRUE(l3.perNodeTlb);
+    EXPECT_EQ(l3.placement, PlacementPolicy::Coloured);
+
+    const SchemeTraits v = schemeTraits(Scheme::VCOMA);
+    EXPECT_TRUE(v.amVirtual);
+    EXPECT_FALSE(v.perNodeTlb);
+    EXPECT_FALSE(v.hasPhysicalAddresses());
+    EXPECT_EQ(v.placement, PlacementPolicy::Vcoma);
+}
+
+TEST(SchemeTraits, Names)
+{
+    EXPECT_STREQ(schemeName(Scheme::L0), "L0-TLB");
+    EXPECT_STREQ(schemeName(Scheme::VCOMA), "V-COMA");
+    EXPECT_FALSE(schemeUsesVirtualAm(Scheme::L2));
+    EXPECT_TRUE(schemeUsesVirtualAm(Scheme::L3));
+}
+
+TEST(BuilderConfigs, TinyAndBaselineValidate)
+{
+    for (Scheme s : {Scheme::L0, Scheme::L1, Scheme::L2, Scheme::L3,
+                     Scheme::VCOMA}) {
+        EXPECT_NO_THROW(baselineConfig(s).validate());
+        EXPECT_NO_THROW(tinyConfig(s).validate());
+    }
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the extension features: the 0-entry (software-managed)
+ * translation mode, the reference-bit decay daemon, the gem5-style
+ * stats dump, and the ablation knobs of the experiment runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "sim/machine.hh"
+#include "tlb/tlb.hh"
+#include "translation/system_builder.hh"
+#include "workloads/workload.hh"
+
+using namespace vcoma;
+
+// ---------------------------------------------------------------------
+// Software-managed translation (0-entry TLB).
+// ---------------------------------------------------------------------
+
+TEST(SoftwareTlb, ZeroEntriesAlwaysMiss)
+{
+    Tlb tlb(0, 0, 1);
+    for (PageNum p = 0; p < 10; ++p) {
+        EXPECT_FALSE(tlb.access(p));
+        EXPECT_FALSE(tlb.access(p));  // no fill either
+        EXPECT_FALSE(tlb.contains(p));
+    }
+    EXPECT_EQ(tlb.demandMisses.value(), 20u);
+    EXPECT_FALSE(tlb.invalidate(3));
+    tlb.flush();  // no-op, must not crash
+}
+
+TEST(SoftwareTlb, MachineTrapsOnEverySlcMiss)
+{
+    MachineConfig cfg = tinyConfig(Scheme::L2, /*entries=*/0);
+    cfg.timedTranslation = true;
+    Machine m(cfg);
+    WorkloadParams p;
+    p.threads = 4;
+    p.scale = 0.05;
+    auto w = makeWorkload("UNIFORM", p);
+    const RunStats stats = m.run(*w);
+    EXPECT_GT(stats.tlbAccesses, 0u);
+    EXPECT_EQ(stats.tlbMisses, stats.tlbAccesses)
+        << "a 0-entry TLB traps on every access";
+    EXPECT_EQ(stats.totalXlatStall(),
+              stats.tlbMisses * cfg.timing.translationMiss);
+}
+
+// ---------------------------------------------------------------------
+// Reference-bit decay daemon (Section 4.1).
+// ---------------------------------------------------------------------
+
+TEST(RefBitDecay, DaemonRunsPeriodically)
+{
+    MachineConfig cfg = tinyConfig(Scheme::VCOMA);
+    cfg.refBitDecayPeriod = 50000;
+    Machine m(cfg);
+    WorkloadParams p;
+    p.threads = 4;
+    p.scale = 0.05;
+    auto w = makeWorkload("STRIDE", p);
+    const RunStats stats = m.run(*w);
+    EXPECT_GT(m.refBitDecays(), 0u);
+    EXPECT_LE(m.refBitDecays(), stats.execTime / 50000 + 1);
+}
+
+TEST(RefBitDecay, DisabledByDefault)
+{
+    Machine m(tinyConfig(Scheme::VCOMA));
+    WorkloadParams p;
+    p.threads = 4;
+    p.scale = 0.05;
+    auto w = makeWorkload("UNIFORM", p);
+    m.run(*w);
+    EXPECT_EQ(m.refBitDecays(), 0u);
+}
+
+TEST(RefBitDecay, ClearsReferenceBits)
+{
+    MachineConfig cfg = tinyConfig(Scheme::VCOMA);
+    Machine m(cfg);
+    m.access(0, RefType::Read, 0x40000, 0);
+    const PageNum vpn = m.layout().vpn(0x40000);
+    EXPECT_TRUE(m.pageTable().find(vpn)->referenced);
+    m.pageTable().clearReferenceBits();
+    EXPECT_FALSE(m.pageTable().find(vpn)->referenced);
+    // The next access sets it again.
+    m.access(1, RefType::Read, 0x40000, 1000);
+    EXPECT_TRUE(m.pageTable().find(vpn)->referenced);
+}
+
+// ---------------------------------------------------------------------
+// Stats dump.
+// ---------------------------------------------------------------------
+
+TEST(DumpStats, ContainsComponentHierarchy)
+{
+    Machine m(tinyConfig(Scheme::VCOMA));
+    m.access(0, RefType::Write, 0x40000, 0);
+    m.access(1, RefType::Read, 0x40000, 1000);
+    std::ostringstream os;
+    m.dumpStats(os);
+    const std::string text = os.str();
+    for (const char *needle :
+         {"machine:", "protocol:", "remoteReads", "network:",
+          "blockMessages", "vm:", "pageFaults", "node0:", "am.hits",
+          "dlb.demandAccesses"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(DumpStats, TlbSchemesShowTlbCounters)
+{
+    Machine m(tinyConfig(Scheme::L0));
+    m.access(0, RefType::Read, 0x40000, 0);
+    std::ostringstream os;
+    m.dumpStats(os);
+    EXPECT_NE(os.str().find("tlb.demandAccesses"), std::string::npos);
+    EXPECT_EQ(os.str().find("dlb."), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Runner ablation knobs.
+// ---------------------------------------------------------------------
+
+TEST(RunnerKnobs, AmAssocAndPenaltyAffectKeyAndMachine)
+{
+    ExperimentConfig a;
+    a.workload = "UNIFORM";
+    a.scale = 0.05;
+    ExperimentConfig b = a;
+    b.amAssoc = 2;
+    EXPECT_NE(a.key(), b.key());
+    ExperimentConfig c = a;
+    c.xlatPenalty = 200;
+    EXPECT_NE(a.key(), c.key());
+
+    Runner runner("");
+    const RunStats &assoc2 = runner.run(b);
+    EXPECT_GT(assoc2.totalRefs(), 0u);
+}
+
+TEST(RunnerKnobs, HigherPenaltyCostsMoreXlatStall)
+{
+    Runner runner("");
+    ExperimentConfig base;
+    base.workload = "UNIFORM";
+    base.scale = 0.05;
+    base.scheme = Scheme::L0;
+    base.tlbEntries = 4;
+    base.timedTranslation = true;
+    base.xlatPenalty = 40;
+    ExperimentConfig expensive = base;
+    expensive.xlatPenalty = 160;
+    const RunStats &cheap = runner.run(base);
+    const RunStats &costly = runner.run(expensive);
+    EXPECT_GT(costly.totalXlatStall(), cheap.totalXlatStall());
+    EXPECT_EQ(costly.tlbMisses, cheap.tlbMisses)
+        << "penalty changes timing, not the reference stream";
+}

@@ -1,0 +1,108 @@
+/** @file Tests for the coroutine generator. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/generator.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+Generator<int>
+countTo(int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_yield i;
+}
+
+Generator<int>
+throwsMidway()
+{
+    co_yield 1;
+    throw std::runtime_error("boom");
+}
+
+Generator<int>
+empty()
+{
+    co_return;
+}
+
+} // namespace
+
+TEST(Generator, YieldsAllValuesThenEnds)
+{
+    auto gen = countTo(5);
+    for (int i = 0; i < 5; ++i) {
+        auto v = gen.next();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_FALSE(gen.next().has_value());
+    EXPECT_FALSE(gen.next().has_value());  // stays exhausted
+    EXPECT_FALSE(gen.alive());
+}
+
+TEST(Generator, EmptyGenerator)
+{
+    auto gen = empty();
+    EXPECT_FALSE(gen.next().has_value());
+}
+
+TEST(Generator, LazyUntilFirstNext)
+{
+    bool started = false;
+    auto make = [&]() -> Generator<int> {
+        started = true;
+        co_yield 7;
+    };
+    auto gen = make();
+    EXPECT_FALSE(started);
+    EXPECT_EQ(*gen.next(), 7);
+    EXPECT_TRUE(started);
+}
+
+TEST(Generator, PropagatesExceptions)
+{
+    auto gen = throwsMidway();
+    EXPECT_EQ(*gen.next(), 1);
+    EXPECT_THROW(gen.next(), std::runtime_error);
+}
+
+TEST(Generator, MoveTransfersOwnership)
+{
+    auto a = countTo(3);
+    EXPECT_EQ(*a.next(), 0);
+    Generator<int> b = std::move(a);
+    EXPECT_FALSE(a.alive());
+    EXPECT_EQ(*b.next(), 1);
+    Generator<int> c;
+    c = std::move(b);
+    EXPECT_EQ(*c.next(), 2);
+    EXPECT_FALSE(c.next().has_value());
+}
+
+TEST(Generator, DefaultConstructedIsEmpty)
+{
+    Generator<int> gen;
+    EXPECT_FALSE(gen.alive());
+    EXPECT_FALSE(gen.next().has_value());
+}
+
+TEST(Generator, ManyConcurrentGenerators)
+{
+    std::vector<Generator<int>> gens;
+    for (int i = 0; i < 100; ++i)
+        gens.push_back(countTo(10));
+    // Interleave them round-robin.
+    for (int round = 0; round < 10; ++round) {
+        for (auto &g : gens) {
+            auto v = g.next();
+            ASSERT_TRUE(v.has_value());
+            EXPECT_EQ(*v, round);
+        }
+    }
+}

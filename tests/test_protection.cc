@@ -1,0 +1,85 @@
+/** @file Tests for page-level protection management (Section 4.3). */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "translation/system_builder.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+MachineConfig
+cfg()
+{
+    return tinyConfig(Scheme::VCOMA);
+}
+
+} // namespace
+
+TEST(Protection, ChangePropagatesToHoldersAndCompletes)
+{
+    Machine m(cfg());
+    const VAddr va = 0x60000;
+    // Three nodes hold copies of the page's first block.
+    m.access(0, RefType::Read, va, 0);
+    m.access(1, RefType::Read, va, 1000);
+    m.access(2, RefType::Read, va, 2000);
+
+    const PageNum vpn = m.layout().vpn(va);
+    const Tick done =
+        m.protection().changeProtection(3, vpn, ProtRead, 10000);
+    EXPECT_GT(done, 10000u);
+    EXPECT_GE(m.protection().updatesSent.value(), 2u);
+    EXPECT_EQ(m.protection().changes.value(), 1u);
+    EXPECT_EQ(m.pageTable().find(vpn)->protection, ProtRead);
+}
+
+TEST(Protection, WriteFaultsAfterRevocation)
+{
+    Machine m(cfg());
+    const VAddr va = 0x61000;
+    m.access(0, RefType::Write, va, 0);
+    m.protection().changeProtection(0, m.layout().vpn(va), ProtRead,
+                                    1000);
+    EXPECT_THROW(m.access(1, RefType::Write, va, 2000),
+                 ProtectionFault);
+    EXPECT_NO_THROW(m.access(1, RefType::Read, va, 3000));
+}
+
+TEST(Protection, RestoringWriteAccessWorks)
+{
+    Machine m(cfg());
+    const VAddr va = 0x62000;
+    m.access(0, RefType::Read, va, 0);
+    const PageNum vpn = m.layout().vpn(va);
+    m.protection().changeProtection(0, vpn, ProtRead, 1000);
+    EXPECT_THROW(m.access(0, RefType::Write, va, 2000),
+                 ProtectionFault);
+    m.protection().changeProtection(0, vpn, ProtRW, 3000);
+    EXPECT_NO_THROW(m.access(0, RefType::Write, va, 4000));
+}
+
+TEST(Protection, UnmappedPageIsAnError)
+{
+    Machine m(cfg());
+    EXPECT_THROW(m.protection().changeProtection(0, 0xDEAD, ProtRead, 0),
+                 FatalError);
+}
+
+TEST(Protection, ReferenceAndModifyBits)
+{
+    Machine m(cfg());
+    const VAddr va = 0x63000;
+    m.access(0, RefType::Read, va, 0);
+    const PageNum vpn = m.layout().vpn(va);
+    const PageInfo *page = m.pageTable().find(vpn);
+    EXPECT_TRUE(page->referenced);
+    EXPECT_FALSE(page->modified);
+    // In V-COMA the modify bit is set at the home when exclusive
+    // ownership is first requested (Section 4.3).
+    m.access(1, RefType::Write, va, 1000);
+    EXPECT_TRUE(page->modified);
+    EXPECT_GT(m.node(page->home).dlb->modBitSets.value(), 0u);
+}

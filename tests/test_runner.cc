@@ -1,0 +1,163 @@
+/** @file Tests for the experiment runner and its disk cache. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiments.hh"
+#include "harness/runner.hh"
+#include "translation/scheme.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+ExperimentConfig
+tinyExperiment()
+{
+    ExperimentConfig cfg;
+    cfg.workload = "UNIFORM";
+    cfg.scheme = Scheme::VCOMA;
+    cfg.nodes = 32;
+    cfg.scale = 0.05;
+    return cfg;
+}
+
+struct TempDir
+{
+    TempDir()
+    {
+        path = std::filesystem::temp_directory_path() /
+               ("vcoma_test_cache_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    std::filesystem::path path;
+};
+
+} // namespace
+
+TEST(ExperimentConfig, KeyEncodesEveryField)
+{
+    ExperimentConfig a = tinyExperiment();
+    ExperimentConfig b = a;
+    EXPECT_EQ(a.key(), b.key());
+    b.tlbEntries = 16;
+    EXPECT_NE(a.key(), b.key());
+    b = a;
+    b.scheme = Scheme::L0;
+    EXPECT_NE(a.key(), b.key());
+    b = a;
+    b.writebacksAccessTlb = false;
+    EXPECT_NE(a.key(), b.key());
+    b = a;
+    b.raytraceV2 = true;
+    EXPECT_NE(a.key(), b.key());
+    b = a;
+    b.scale = 2.0;
+    EXPECT_NE(a.key(), b.key());
+}
+
+TEST(Runner, MemoisesWithinProcess)
+{
+    Runner runner("");  // no disk cache
+    const RunStats &a = runner.run(tinyExperiment());
+    const RunStats &b = runner.run(tinyExperiment());
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(runner.executed(), 1u);
+}
+
+TEST(Runner, DiskCacheRoundTripsAllFields)
+{
+    TempDir dir;
+    RunStats first;
+    {
+        Runner runner(dir.path.string());
+        first = runner.run(tinyExperiment());
+        EXPECT_EQ(runner.executed(), 1u);
+    }
+    {
+        Runner runner(dir.path.string());
+        const RunStats &again = runner.run(tinyExperiment());
+        EXPECT_EQ(runner.executed(), 0u) << "must come from disk";
+        EXPECT_EQ(again.workload, first.workload);
+        EXPECT_EQ(again.parameters, first.parameters);
+        EXPECT_EQ(again.scheme, first.scheme);
+        EXPECT_EQ(again.numNodes, first.numNodes);
+        EXPECT_EQ(again.execTime, first.execTime);
+        EXPECT_EQ(again.totalRefs(), first.totalRefs());
+        EXPECT_EQ(again.totalSync(), first.totalSync());
+        ASSERT_EQ(again.shadow.size(), first.shadow.size());
+        for (std::size_t i = 0; i < first.shadow.size(); ++i) {
+            EXPECT_EQ(again.shadow[i].demandMisses,
+                      first.shadow[i].demandMisses);
+            EXPECT_EQ(again.shadow[i].writebackMisses,
+                      first.shadow[i].writebackMisses);
+        }
+        EXPECT_EQ(again.tlbMisses, first.tlbMisses);
+        EXPECT_EQ(again.pressureProfile, first.pressureProfile);
+        EXPECT_EQ(again.remoteReads, first.remoteReads);
+        EXPECT_EQ(again.blockMessages, first.blockMessages);
+        EXPECT_EQ(again.amMisses, first.amMisses);
+    }
+}
+
+TEST(Runner, CorruptCacheFileIsIgnored)
+{
+    TempDir dir;
+    Runner first(dir.path.string());
+    first.run(tinyExperiment());
+    // Corrupt every cache file.
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir.path)) {
+        std::ofstream out(entry.path());
+        out << "garbage\n";
+    }
+    Runner second(dir.path.string());
+    second.run(tinyExperiment());
+    EXPECT_EQ(second.executed(), 1u);
+}
+
+TEST(RunStats, DerivedMetrics)
+{
+    Runner runner("");
+    const RunStats &stats = runner.run(tinyExperiment());
+    // Miss rate: percentage of total refs.
+    const double rate = stats.missRatePct(8, 0, true);
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 100.0);
+    // Misses per node consistent with the raw point.
+    const auto &p = stats.shadowPoint(8, 0);
+    EXPECT_DOUBLE_EQ(stats.missesPerNode(8, 0, false),
+                     static_cast<double>(p.demandMisses) / 32.0);
+    EXPECT_THROW(stats.shadowPoint(9999, 0), FatalError);
+}
+
+TEST(Experiments, TagOverheadMatchesPaperNumbers)
+{
+    // Section 6: 2-3 extra tag bytes => 1.5%-2.5% of AM for 128 B
+    // blocks, 3%-4.5% for 64 B, 6%-9% for 32 B.
+    EXPECT_NEAR(100 * virtualTagOverhead(128, 2), 1.56, 0.1);
+    EXPECT_NEAR(100 * virtualTagOverhead(128, 3), 2.34, 0.2);
+    EXPECT_NEAR(100 * virtualTagOverhead(64, 3), 4.69, 0.25);
+    EXPECT_NEAR(100 * virtualTagOverhead(32, 2), 6.25, 0.1);
+    EXPECT_NEAR(100 * virtualTagOverhead(32, 3), 9.38, 0.5);
+    const Table t = tagOverheadTable();
+    EXPECT_EQ(t.title().substr(0, 9), "Section 6");
+}
+
+TEST(Experiments, Table1ListsAllBenchmarks)
+{
+    const Table t = table1Benchmarks(0.05);
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    for (const auto &name : paperBenchmarks())
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+}

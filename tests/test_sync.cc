@@ -1,0 +1,99 @@
+/** @file Tests for barrier and lock synchronisation. */
+
+#include <gtest/gtest.h>
+
+#include "sim/sync.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+TimingConfig
+timing()
+{
+    TimingConfig t;
+    t.barrierRelease = 100;
+    t.lockTransfer = 40;
+    return t;
+}
+
+} // namespace
+
+TEST(Sync, BarrierReleasesAtMaxArrivalPlusCost)
+{
+    SyncManager sync(3, timing());
+    EXPECT_FALSE(sync.arriveBarrier(1, 0, 500).has_value());
+    EXPECT_FALSE(sync.arriveBarrier(1, 1, 900).has_value());
+    EXPECT_EQ(sync.parked(), 2u);
+    auto release = sync.arriveBarrier(1, 2, 700);
+    ASSERT_TRUE(release.has_value());
+    EXPECT_EQ(release->releaseAt, 1000u);  // max(900) + 100
+    EXPECT_EQ(release->waiters.size(), 3u);
+    EXPECT_EQ(sync.parked(), 0u);
+    EXPECT_EQ(sync.barrierEpisodes.value(), 1u);
+}
+
+TEST(Sync, BarrierIdReusableAcrossEpisodes)
+{
+    SyncManager sync(2, timing());
+    sync.arriveBarrier(5, 0, 0);
+    ASSERT_TRUE(sync.arriveBarrier(5, 1, 10).has_value());
+    // Same id again: a fresh episode.
+    EXPECT_FALSE(sync.arriveBarrier(5, 1, 100).has_value());
+    ASSERT_TRUE(sync.arriveBarrier(5, 0, 200).has_value());
+}
+
+TEST(Sync, DoubleArrivalPanics)
+{
+    SyncManager sync(3, timing());
+    sync.arriveBarrier(1, 0, 0);
+    EXPECT_THROW(sync.arriveBarrier(1, 0, 10), PanicError);
+}
+
+TEST(Sync, UncontendedLockGrantsImmediately)
+{
+    SyncManager sync(2, timing());
+    auto grant = sync.acquireLock(7, 0, 1000);
+    ASSERT_TRUE(grant.has_value());
+    EXPECT_EQ(*grant, 1040u);
+    EXPECT_EQ(sync.lockContended.value(), 0u);
+}
+
+TEST(Sync, ContendedLockQueuesFifo)
+{
+    SyncManager sync(3, timing());
+    sync.acquireLock(7, 0, 0);
+    EXPECT_FALSE(sync.acquireLock(7, 1, 100).has_value());
+    EXPECT_FALSE(sync.acquireLock(7, 2, 200).has_value());
+    EXPECT_EQ(sync.parked(), 2u);
+
+    auto g1 = sync.releaseLock(7, 0, 1000);
+    ASSERT_TRUE(g1.has_value());
+    EXPECT_EQ(g1->cpu, 1u);
+    EXPECT_EQ(g1->arrivedAt, 100u);
+    EXPECT_EQ(g1->grantedAt, 1040u);
+
+    auto g2 = sync.releaseLock(7, 1, 2000);
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_EQ(g2->cpu, 2u);
+    EXPECT_EQ(sync.parked(), 0u);
+
+    EXPECT_FALSE(sync.releaseLock(7, 2, 3000).has_value());
+}
+
+TEST(Sync, ReleaseErrorsDetected)
+{
+    SyncManager sync(2, timing());
+    EXPECT_THROW(sync.releaseLock(9, 0, 0), PanicError);
+    sync.acquireLock(9, 0, 0);
+    EXPECT_THROW(sync.releaseLock(9, 1, 10), PanicError);
+}
+
+TEST(Sync, IndependentLocksDoNotInteract)
+{
+    SyncManager sync(2, timing());
+    ASSERT_TRUE(sync.acquireLock(1, 0, 0).has_value());
+    ASSERT_TRUE(sync.acquireLock(2, 1, 0).has_value());
+    EXPECT_EQ(sync.lockContended.value(), 0u);
+}

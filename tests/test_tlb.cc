@@ -1,0 +1,283 @@
+/** @file Unit and property tests for the TLB/DLB model. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "tlb/shadow_bank.hh"
+#include "tlb/tlb.hh"
+
+using namespace vcoma;
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(8, 0, 1);
+    EXPECT_FALSE(tlb.access(100));
+    EXPECT_TRUE(tlb.access(100));
+    EXPECT_EQ(tlb.demandMisses.value(), 1u);
+    EXPECT_EQ(tlb.demandAccesses.value(), 2u);
+}
+
+TEST(Tlb, WritebackClassCountedSeparately)
+{
+    Tlb tlb(8, 0, 1);
+    tlb.access(1, StreamClass::Writeback);
+    tlb.access(2, StreamClass::Demand);
+    EXPECT_EQ(tlb.writebackAccesses.value(), 1u);
+    EXPECT_EQ(tlb.writebackMisses.value(), 1u);
+    EXPECT_EQ(tlb.demandAccesses.value(), 1u);
+    // A write-back fill serves later demand accesses.
+    EXPECT_TRUE(tlb.access(1, StreamClass::Demand));
+}
+
+TEST(Tlb, FullyAssociativeHoldsWorkingSet)
+{
+    Tlb tlb(16, 0, 7);
+    for (int sweep = 0; sweep < 20; ++sweep) {
+        for (PageNum p = 0; p < 16; ++p)
+            tlb.access(p);
+    }
+    // Only cold misses: the working set fits.
+    EXPECT_EQ(tlb.demandMisses.value(), 16u);
+}
+
+TEST(Tlb, DirectMappedConflictsThrash)
+{
+    Tlb tlb(16, 1, 7);
+    // Two pages with the same low bits conflict in a 16-set DM TLB.
+    for (int i = 0; i < 100; ++i) {
+        tlb.access(0);
+        tlb.access(16);
+    }
+    EXPECT_EQ(tlb.demandMisses.value(), 200u);
+}
+
+TEST(Tlb, DirectMappedDistinctSetsNoConflicts)
+{
+    Tlb tlb(16, 1, 7);
+    for (int sweep = 0; sweep < 10; ++sweep) {
+        for (PageNum p = 0; p < 16; ++p)
+            tlb.access(p);
+    }
+    EXPECT_EQ(tlb.demandMisses.value(), 16u);
+}
+
+TEST(Tlb, SetAssociativeGeometry)
+{
+    Tlb tlb(16, 4, 3);
+    EXPECT_EQ(tlb.organisation(), "4way");
+    // 4 sets x 4 ways: 4 pages mapping to set 0 all fit.
+    for (int sweep = 0; sweep < 5; ++sweep) {
+        for (PageNum p = 0; p < 16; p += 4)
+            tlb.access(p);
+    }
+    EXPECT_EQ(tlb.demandMisses.value(), 4u);
+}
+
+TEST(Tlb, InvalidateDropsEntry)
+{
+    Tlb fa(8, 0, 1);
+    fa.access(5);
+    EXPECT_TRUE(fa.invalidate(5));
+    EXPECT_FALSE(fa.contains(5));
+    EXPECT_FALSE(fa.invalidate(5));
+
+    Tlb dm(8, 1, 1);
+    dm.access(5);
+    EXPECT_TRUE(dm.invalidate(5));
+    EXPECT_FALSE(dm.contains(5));
+}
+
+TEST(Tlb, FlushDropsAll)
+{
+    Tlb tlb(8, 0, 1);
+    for (PageNum p = 0; p < 8; ++p)
+        tlb.access(p);
+    tlb.flush();
+    for (PageNum p = 0; p < 8; ++p)
+        EXPECT_FALSE(tlb.contains(p));
+}
+
+TEST(Tlb, RejectsBadGeometry)
+{
+    EXPECT_THROW(Tlb(10, 4, 1), FatalError);   // not divisible
+    EXPECT_THROW(Tlb(24, 2, 1), FatalError);   // 12 sets: not pow2
+    // 0 entries is legal: software-managed translation.
+    EXPECT_NO_THROW(Tlb(0, 0, 1));
+}
+
+TEST(Tlb, OrganisationNames)
+{
+    EXPECT_EQ(Tlb(8, 0, 1).organisation(), "FA");
+    EXPECT_EQ(Tlb(8, 1, 1).organisation(), "DM");
+    EXPECT_EQ(Tlb(8, 2, 1).organisation(), "2way");
+}
+
+// ---------------------------------------------------------------------
+// Property tests.
+// ---------------------------------------------------------------------
+
+struct TlbParam
+{
+    unsigned entries;
+    unsigned assoc;
+};
+
+class TlbProperty : public ::testing::TestWithParam<TlbParam>
+{
+};
+
+/** Occupancy: at most 'entries' pages resident at once. */
+TEST_P(TlbProperty, OccupancyBounded)
+{
+    const auto [entries, assoc] = GetParam();
+    Tlb tlb(entries, assoc, 3);
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i)
+        tlb.access(rng.below(10000));
+    unsigned resident = 0;
+    for (PageNum p = 0; p < 10000; ++p) {
+        if (tlb.contains(p))
+            ++resident;
+    }
+    EXPECT_LE(resident, entries);
+}
+
+/** An access always leaves the page resident. */
+TEST_P(TlbProperty, AccessedPageIsResident)
+{
+    const auto [entries, assoc] = GetParam();
+    Tlb tlb(entries, assoc, 3);
+    Rng rng(23);
+    for (int i = 0; i < 5000; ++i) {
+        const PageNum p = rng.below(512);
+        tlb.access(p);
+        ASSERT_TRUE(tlb.contains(p));
+    }
+}
+
+/** Larger TLBs of the same organisation never miss more. */
+TEST_P(TlbProperty, MonotoneInSize)
+{
+    const auto [entries, assoc] = GetParam();
+    if (assoc > 1)
+        GTEST_SKIP() << "monotonicity only guaranteed FA/DM here";
+    Tlb small(entries, assoc, 3);
+    Tlb big(entries * 4, assoc, 3);
+    Rng rng(31);
+    // A looping working set (no randomness in the stream).
+    for (int i = 0; i < 20000; ++i) {
+        const PageNum p = (i * 7) % (entries * 2);
+        small.access(p);
+        big.access(p);
+    }
+    EXPECT_LE(big.misses(), small.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Organisations, TlbProperty,
+    ::testing::Values(TlbParam{8, 0}, TlbParam{8, 1}, TlbParam{32, 0},
+                      TlbParam{32, 1}, TlbParam{64, 2}, TlbParam{128, 0},
+                      TlbParam{128, 1}, TlbParam{512, 0}));
+
+// ---------------------------------------------------------------------
+// Shadow banks.
+// ---------------------------------------------------------------------
+
+TEST(ShadowBank, HasEverySizeInBothOrganisations)
+{
+    ShadowBank bank(1);
+    for (unsigned size : shadowSizes()) {
+        EXPECT_NE(bank.find(size, 0), nullptr);
+        EXPECT_NE(bank.find(size, 1), nullptr);
+    }
+    EXPECT_EQ(bank.find(9999, 0), nullptr);
+}
+
+TEST(ShadowBank, FeedsAllMembers)
+{
+    ShadowBank bank(1);
+    bank.access(42);
+    bank.access(42);
+    for (const auto &tlb : bank.members()) {
+        EXPECT_EQ(tlb->demandAccesses.value(), 2u);
+        EXPECT_EQ(tlb->demandMisses.value(), 1u);
+    }
+}
+
+TEST(ShadowBank, SumAcrossBanks)
+{
+    std::vector<ShadowBank> banks;
+    banks.emplace_back(1);
+    banks.emplace_back(2);
+    banks[0].access(1);
+    banks[1].access(1);
+    banks[1].access(2, StreamClass::Writeback);
+    const ShadowTotals t = sumShadow(banks, 8, 0);
+    EXPECT_EQ(t.demandAccesses, 2u);
+    EXPECT_EQ(t.demandMisses, 2u);
+    EXPECT_EQ(t.writebackMisses, 1u);
+    EXPECT_EQ(t.misses(), 3u);
+}
+
+/** Bigger fully associative shadow members never miss more. */
+TEST(ShadowBank, SizeMonotonicityOnLoopingStream)
+{
+    ShadowBank bank(5);
+    for (int i = 0; i < 30000; ++i)
+        bank.access((i * 13) % 300);
+    std::uint64_t prev = ~std::uint64_t{0};
+    for (unsigned size : shadowSizes()) {
+        const Tlb *tlb = bank.find(size, 0);
+        EXPECT_LE(tlb->misses(), prev) << "size " << size;
+        prev = tlb->misses();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Index shift: the DLB set-indexing fix of Figure 6.
+// ---------------------------------------------------------------------
+
+/**
+ * A home-node DLB only ever sees vpns whose low p bits equal the home
+ * id. Without an index shift, a direct-mapped DLB would map them all
+ * to one set; with the Figure 6 indexing (skip the p home bits) they
+ * spread across the sets.
+ */
+TEST(TlbIndexShift, DirectMappedDlbSpreadsHomeLocalPages)
+{
+    const unsigned homeBits = 5;  // 32 nodes
+    Tlb naive(8, 1, 3, 0);
+    Tlb shifted(8, 1, 3, homeBits);
+    // Pages of home 7: vpn = 7, 39, 71, ... (vpn mod 32 == 7).
+    for (int sweep = 0; sweep < 10; ++sweep) {
+        for (PageNum i = 0; i < 8; ++i) {
+            naive.access(7 + 32 * i);
+            shifted.access(7 + 32 * i);
+        }
+    }
+    // Naive: all 8 pages fight over one set -> misses every time.
+    EXPECT_EQ(naive.demandMisses.value(), 80u);
+    // Shifted: each page gets its own set -> cold misses only.
+    EXPECT_EQ(shifted.demandMisses.value(), 8u);
+}
+
+TEST(TlbIndexShift, InvalidateAndContainsHonourShift)
+{
+    Tlb tlb(8, 1, 3, 5);
+    tlb.access(7 + 32 * 3);
+    EXPECT_TRUE(tlb.contains(7 + 32 * 3));
+    EXPECT_TRUE(tlb.invalidate(7 + 32 * 3));
+    EXPECT_FALSE(tlb.contains(7 + 32 * 3));
+}
+
+TEST(TlbIndexShift, FullyAssociativeUnaffected)
+{
+    Tlb a(8, 0, 3, 0);
+    Tlb b(8, 0, 3, 5);
+    for (PageNum i = 0; i < 100; ++i) {
+        a.access(i * 32 + 7);
+        b.access(i * 32 + 7);
+    }
+    EXPECT_EQ(a.misses(), b.misses());
+}

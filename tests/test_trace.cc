@@ -1,0 +1,150 @@
+/** @file Tests for trace recording and replay. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+#include "translation/system_builder.hh"
+#include "workloads/workload.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+WorkloadParams
+params4()
+{
+    WorkloadParams p;
+    p.threads = 4;
+    p.scale = 0.05;
+    p.seed = 11;
+    return p;
+}
+
+} // namespace
+
+TEST(Trace, RecordProducesHeaderAndEvents)
+{
+    auto w = makeWorkload("STRIDE", params4());
+    std::ostringstream os;
+    const std::uint64_t events = recordTrace(*w, os);
+    EXPECT_GT(events, 0u);
+    const std::string text = os.str();
+    EXPECT_EQ(text.rfind("vcoma-trace-v1\nthreads 4\n", 0), 0u);
+}
+
+TEST(Trace, RoundTripPreservesPerThreadStreams)
+{
+    auto w1 = makeWorkload("STRIDE", params4());
+    std::ostringstream os;
+    recordTrace(*w1, os);
+    std::istringstream is(os.str());
+    TraceWorkload replay(is);
+
+    ASSERT_EQ(replay.numThreads(), 4u);
+    // Replay thread streams must equal the original workload's.
+    auto w2 = makeWorkload("STRIDE", params4());
+    for (unsigned t = 0; t < 4; ++t) {
+        auto gen = w2->thread(t);
+        std::size_t i = 0;
+        while (auto ref = gen.next()) {
+            ASSERT_LT(i, replay.events(t).size()) << "thread " << t;
+            const MemRef &got = replay.events(t)[i++];
+            EXPECT_EQ(got.kind, ref->kind);
+            EXPECT_EQ(got.vaddr, ref->vaddr);
+            EXPECT_EQ(got.type, ref->type);
+            EXPECT_EQ(got.work, ref->work);
+            EXPECT_EQ(got.syncId, ref->syncId);
+        }
+        EXPECT_EQ(i, replay.events(t).size());
+    }
+}
+
+TEST(Trace, ReplayRunsIdenticallyToOriginal)
+{
+    // Barrier-phased, lock-free kernels replay with identical timing.
+    RunStats original;
+    {
+        Machine m(tinyConfig(Scheme::VCOMA));
+        auto w = makeWorkload("STRIDE", params4());
+        original = m.run(*w);
+    }
+    std::ostringstream os;
+    {
+        auto w = makeWorkload("STRIDE", params4());
+        recordTrace(*w, os);
+    }
+    std::istringstream is(os.str());
+    TraceWorkload replay(is);
+    Machine m(tinyConfig(Scheme::VCOMA));
+    const RunStats replayed = m.run(replay);
+    EXPECT_EQ(replayed.execTime, original.execTime);
+    EXPECT_EQ(replayed.totalRefs(), original.totalRefs());
+    EXPECT_EQ(replayed.remoteReads, original.remoteReads);
+}
+
+TEST(Trace, SyntheticSegmentCoversAddresses)
+{
+    auto w = makeWorkload("UNIFORM", params4());
+    std::ostringstream os;
+    recordTrace(*w, os);
+    std::istringstream is(os.str());
+    TraceWorkload replay(is);
+    ASSERT_FALSE(replay.space().segments().empty());
+    const Segment &seg = replay.space().segments().front();
+    for (unsigned t = 0; t < replay.numThreads(); ++t) {
+        for (const MemRef &ref : replay.events(t)) {
+            if (ref.kind != MemRef::Kind::Mem)
+                continue;
+            EXPECT_GE(ref.vaddr, seg.base);
+            EXPECT_LT(ref.vaddr, seg.end());
+        }
+    }
+}
+
+TEST(Trace, RejectsMalformedInput)
+{
+    {
+        std::istringstream is("not-a-trace\n");
+        EXPECT_THROW(TraceWorkload{is}, FatalError);
+    }
+    {
+        std::istringstream is("vcoma-trace-v1\nthreads 0\n");
+        EXPECT_THROW(TraceWorkload{is}, FatalError);
+    }
+    {
+        std::istringstream is("vcoma-trace-v1\nthreads 2\n5 R 100 1\n");
+        EXPECT_THROW(TraceWorkload{is}, FatalError);
+    }
+    {
+        std::istringstream is("vcoma-trace-v1\nthreads 2\n0 X 1\n");
+        EXPECT_THROW(TraceWorkload{is}, FatalError);
+    }
+}
+
+TEST(Trace, LocksAndBarriersSurvive)
+{
+    auto w = makeWorkload("OCEAN", params4());
+    std::ostringstream os;
+    recordTrace(*w, os);
+    std::istringstream is(os.str());
+    TraceWorkload replay(is);
+    unsigned locks = 0;
+    unsigned barriers = 0;
+    for (unsigned t = 0; t < replay.numThreads(); ++t) {
+        for (const MemRef &ref : replay.events(t)) {
+            if (ref.kind == MemRef::Kind::LockAcquire)
+                ++locks;
+            if (ref.kind == MemRef::Kind::Barrier)
+                ++barriers;
+        }
+    }
+    EXPECT_GT(locks, 0u);
+    EXPECT_GT(barriers, 0u);
+    // The replay still runs to completion on a machine.
+    Machine m(tinyConfig(Scheme::L0));
+    EXPECT_NO_THROW(m.run(replay));
+}

@@ -1,0 +1,136 @@
+/** @file Tests for the Figure 6 virtual-address decomposition. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/vaddr_layout.hh"
+#include "translation/system_builder.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+MachineConfig
+paperConfig()
+{
+    return baselineConfig(Scheme::VCOMA);
+}
+
+} // namespace
+
+TEST(VAddrLayout, PaperGeometry)
+{
+    const VAddrLayout layout(paperConfig());
+    // 4 MB / 4-way / 128 B: S = 8192 sets, b = 7, s = 13.
+    EXPECT_EQ(layout.blockBits(), 7u);
+    EXPECT_EQ(layout.setBits(), 13u);
+    EXPECT_EQ(layout.pageBits(), 12u);
+    EXPECT_EQ(layout.nodeBits(), 5u);
+    // colour bits = s + b - n = 8 -> 256 global page sets.
+    EXPECT_EQ(layout.colourBits(), 8u);
+    EXPECT_EQ(layout.numColours(), 256u);
+    // 4 KB page / 128 B blocks -> 32 directory entries per page.
+    EXPECT_EQ(layout.entriesPerDirPage(), 32u);
+}
+
+TEST(VAddrLayout, HomeNodeIsLowPageBits)
+{
+    const VAddrLayout layout(paperConfig());
+    EXPECT_EQ(layout.homeNode(0x0000), 0u);
+    EXPECT_EQ(layout.homeNode(0x1000), 1u);
+    EXPECT_EQ(layout.homeNode(0x1F000), 31u);
+    EXPECT_EQ(layout.homeNode(0x20000), 0u);  // wraps at P pages
+    // Every byte of a page shares the home.
+    EXPECT_EQ(layout.homeNode(0x1FFF), layout.homeNode(0x1000));
+}
+
+TEST(VAddrLayout, ColourIsLowPageNumberBits)
+{
+    const VAddrLayout layout(paperConfig());
+    for (PageNum vpn : {0ull, 1ull, 255ull, 256ull, 511ull, 1000ull}) {
+        EXPECT_EQ(layout.colourOfVpn(vpn), vpn % 256)
+            << "vpn=" << vpn;
+        EXPECT_EQ(layout.colour(vpn << 12), vpn % 256);
+    }
+}
+
+TEST(VAddrLayout, HomeNodeConsistentWithColour)
+{
+    // The home bits are the low bits of the colour, so every page of
+    // one global page set shares a home node.
+    const VAddrLayout layout(paperConfig());
+    for (PageNum vpn = 0; vpn < 2048; ++vpn) {
+        EXPECT_EQ(layout.homeNodeOfVpn(vpn),
+                  layout.colourOfVpn(vpn) % 32);
+    }
+}
+
+TEST(VAddrLayout, DirEntryIndex)
+{
+    const VAddrLayout layout(paperConfig());
+    EXPECT_EQ(layout.dirEntryIndex(0x1000), 0u);
+    EXPECT_EQ(layout.dirEntryIndex(0x1080), 1u);
+    EXPECT_EQ(layout.dirEntryIndex(0x1FFF), 31u);
+    // Entry index is page-relative.
+    EXPECT_EQ(layout.dirEntryIndex(0x5080), 1u);
+}
+
+TEST(VAddrLayout, BlockAndPageAlignment)
+{
+    const VAddrLayout layout(paperConfig());
+    EXPECT_EQ(layout.blockAlign(0x1234), 0x1200u);
+    EXPECT_EQ(layout.pageBase(0x1234), 0x1000u);
+    EXPECT_EQ(layout.vpn(0x1234), 1u);
+}
+
+TEST(VAddrLayout, AmSetWithinColourStripe)
+{
+    const VAddrLayout layout(paperConfig());
+    // Blocks of a page span 32 consecutive sets; the colour selects
+    // which stripe of 32 sets.
+    const VAddr page = 0x5000;  // colour 5
+    const std::uint64_t firstSet = layout.amSet(page);
+    EXPECT_EQ(firstSet, 5u * 32u);
+    EXPECT_EQ(layout.amSet(page + 0xF80), firstSet + 31);
+}
+
+TEST(VAddrLayout, PageTableSetSkipsHomeBits)
+{
+    const VAddrLayout layout(paperConfig());
+    // colourBits=8, nodeBits=5: 3 bits of page-table set.
+    const VAddr va = static_cast<VAddr>(0xE5) << 12;  // colour 0xE5
+    EXPECT_EQ(layout.pageTableSet(va), 0xE5u >> 5);
+}
+
+TEST(VAddrLayout, RejectsTooFewColoursForNodes)
+{
+    MachineConfig cfg = paperConfig();
+    // Shrink AM so colour bits fall below node bits.
+    cfg.am = CacheConfig{256 * 1024, 4, 128, false, true};
+    // 512 sets * 128 B = 64 KB span; colourBits = 16+... compute:
+    // sets=512 -> s=9, b=7, n=12 -> colour=4 < p=5.
+    EXPECT_THROW(VAddrLayout{cfg}, FatalError);
+}
+
+TEST(VAddrLayout, RejectsAmSmallerThanPageStripe)
+{
+    MachineConfig cfg = paperConfig();
+    cfg.pageBytes = 1 << 21;  // 2 MB pages > AM index span
+    EXPECT_THROW(VAddrLayout{cfg}, FatalError);
+}
+
+/** Round trip: decompose-and-reassemble recovers the address. */
+TEST(VAddrLayout, DecompositionPartitionsAddress)
+{
+    const VAddrLayout layout(paperConfig());
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const VAddr va = rng.below(std::uint64_t{1} << 40);
+        const VAddr rebuilt =
+            (layout.vpn(va) << layout.pageBits()) |
+            (layout.dirEntryIndex(va) << layout.blockBits()) |
+            (va & mask(layout.blockBits()));
+        EXPECT_EQ(rebuilt, va);
+    }
+}

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the virtual-memory layer: the address space, the page
+ * table with its backpointers, the three placement allocators and the
+ * pressure tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/vaddr_layout.hh"
+#include "translation/system_builder.hh"
+#include "vm/address_space.hh"
+#include "vm/page_allocator.hh"
+#include "vm/page_table.hh"
+#include "vm/pressure.hh"
+
+using namespace vcoma;
+
+// ---------------------------------------------------------------------
+// AddressSpace
+// ---------------------------------------------------------------------
+
+TEST(AddressSpace, AllocatesAlignedDisjointSegments)
+{
+    AddressSpace space(0x10000);
+    const VAddr a = space.alloc("a", 100, 64);
+    const VAddr b = space.alloc("b", 5000, 4096);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(space.segments().size(), 2u);
+    EXPECT_EQ(space.totalBytes(), 5100u);
+}
+
+TEST(AddressSpace, RejectsBadRequests)
+{
+    AddressSpace space;
+    EXPECT_THROW(space.alloc("zero", 0), FatalError);
+    EXPECT_THROW(space.alloc("align", 64, 100), FatalError);
+}
+
+TEST(AddressSpace, Alignment32kVs4kChangesPageColours)
+{
+    // The RAYTRACE layout experiment in miniature.
+    AddressSpace v1(0x100000);
+    AddressSpace v2(0x100000);
+    std::vector<VAddr> bases1, bases2;
+    for (int p = 0; p < 8; ++p) {
+        bases1.push_back(v1.alloc("s", 8192, 32768));
+        bases2.push_back(v2.alloc("s", 8192, 4096));
+    }
+    for (int p = 0; p < 8; ++p) {
+        EXPECT_EQ((bases1[p] >> 12) % 8, 0u);  // colour multiple of 8
+    }
+    // Packed V2 bases advance by 2 pages.
+    for (int p = 1; p < 8; ++p)
+        EXPECT_EQ(bases2[p] - bases2[p - 1], 8192u);
+}
+
+// ---------------------------------------------------------------------
+// Allocators and the page table
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct VmFixtureParts
+{
+    MachineConfig cfg = baselineConfig(Scheme::VCOMA);
+    VAddrLayout layout{cfg};
+    PressureTracker pressure{cfg.numGlobalPageSets(),
+                             cfg.globalPageSetCapacity()};
+};
+
+} // namespace
+
+TEST(RoundRobinAllocator, HomesRotateFramesIncrement)
+{
+    VmFixtureParts f;
+    RoundRobinAllocator alloc(f.layout, f.pressure, 32);
+    PageTable pt(12, alloc);
+    for (unsigned i = 0; i < 100; ++i) {
+        PageInfo &page = pt.ensureResident(VAddr{i} << 12);
+        EXPECT_EQ(page.frame, i);
+        EXPECT_EQ(page.home, i % 32);
+        EXPECT_EQ(page.colour, i % 256);
+        EXPECT_TRUE(page.resident);
+    }
+}
+
+TEST(ColouredAllocator, FrameColourMatchesVirtualColour)
+{
+    VmFixtureParts f;
+    ColouredAllocator alloc(f.layout, f.pressure, 32);
+    PageTable pt(12, alloc);
+    // Pages with assorted vpns, including colour collisions.
+    for (PageNum vpn : {0ull, 1ull, 255ull, 256ull, 257ull, 513ull}) {
+        PageInfo &page = pt.ensureResident(vpn << 12);
+        EXPECT_EQ(page.frame & 255u, vpn & 255u) << "vpn=" << vpn;
+        EXPECT_EQ(page.colour, vpn & 255u);
+        EXPECT_EQ(page.home, page.frame % 32);
+    }
+    // Two pages of the same colour get distinct frames.
+    EXPECT_NE(pt.find(0)->frame, pt.find(256)->frame);
+}
+
+TEST(VcomaAllocator, HomeFromVpnNoFrames)
+{
+    VmFixtureParts f;
+    VcomaAllocator alloc(f.layout, f.pressure, 32);
+    PageTable pt(12, alloc);
+    PageInfo &a = pt.ensureResident(VAddr{5} << 12);
+    PageInfo &b = pt.ensureResident(VAddr{37} << 12);
+    EXPECT_EQ(a.home, 5u);
+    EXPECT_EQ(b.home, 5u);  // 37 mod 32
+    EXPECT_EQ(a.frame, PageInfo::noFrame);
+    // Directory pages allocated per home, in order.
+    EXPECT_EQ(a.dirPage, 0u);
+    EXPECT_EQ(b.dirPage, 1u);
+}
+
+TEST(PageTable, TranslateAndReverseAreInverse)
+{
+    VmFixtureParts f;
+    RoundRobinAllocator alloc(f.layout, f.pressure, 32);
+    PageTable pt(12, alloc);
+    for (PageNum vpn = 0; vpn < 50; ++vpn)
+        pt.ensureResident(vpn << 12);
+    for (PageNum vpn = 0; vpn < 50; ++vpn) {
+        const VAddr va = (vpn << 12) | 0x123;
+        const PAddr pa = pt.translate(va);
+        EXPECT_EQ(pt.reverse(pa), va);
+        EXPECT_EQ(pa & 0xFFFu, 0x123u);
+    }
+}
+
+TEST(PageTable, TranslateWithoutFramesPanics)
+{
+    VmFixtureParts f;
+    VcomaAllocator alloc(f.layout, f.pressure, 32);
+    PageTable pt(12, alloc);
+    pt.ensureResident(0x5000);
+    EXPECT_THROW(pt.translate(0x5000), PanicError);
+}
+
+TEST(PageTable, FirstTouchCountsOnePageFault)
+{
+    VmFixtureParts f;
+    RoundRobinAllocator alloc(f.layout, f.pressure, 32);
+    PageTable pt(12, alloc);
+    pt.ensureResident(0x1000);
+    pt.ensureResident(0x1800);  // same page
+    pt.ensureResident(0x2000);
+    EXPECT_EQ(pt.pageFaults.value(), 2u);
+    EXPECT_EQ(pt.pageReloads.value(), 0u);
+}
+
+TEST(PageTable, SwapOutAndReload)
+{
+    VmFixtureParts f;
+    RoundRobinAllocator alloc(f.layout, f.pressure, 32);
+    PageTable pt(12, alloc);
+    PageInfo &page = pt.ensureResident(0x3000);
+    const auto frame = page.frame;
+    pt.swapOut(3);
+    EXPECT_FALSE(pt.find(3)->resident);
+    PageInfo &again = pt.ensureResident(0x3000);
+    EXPECT_TRUE(again.resident);
+    EXPECT_EQ(again.frame, frame);  // placement survives the swap
+    EXPECT_EQ(pt.pageReloads.value(), 1u);
+    EXPECT_EQ(pt.swapOuts.value(), 1u);
+}
+
+TEST(PageTable, ResidentCallbackFires)
+{
+    VmFixtureParts f;
+    RoundRobinAllocator alloc(f.layout, f.pressure, 32);
+    PageTable pt(12, alloc);
+    unsigned calls = 0;
+    pt.onPageResident([&](PageInfo &) { ++calls; });
+    pt.ensureResident(0x1000);
+    pt.ensureResident(0x1000);
+    EXPECT_EQ(calls, 1u);
+    pt.swapOut(1);
+    pt.ensureResident(0x1000);
+    EXPECT_EQ(calls, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Pressure tracking (the Figure 11 machinery)
+// ---------------------------------------------------------------------
+
+TEST(Pressure, TracksOccupancyAndProfile)
+{
+    PressureTracker tracker(4, 8);
+    tracker.pageIn(0);
+    tracker.pageIn(0);
+    tracker.pageIn(3);
+    EXPECT_EQ(tracker.occupied(0), 2u);
+    EXPECT_DOUBLE_EQ(tracker.pressure(0), 0.25);
+    EXPECT_DOUBLE_EQ(tracker.pressure(1), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.maxPressure(), 0.25);
+    EXPECT_DOUBLE_EQ(tracker.meanPressure(), 3.0 / 32.0);
+    const auto profile = tracker.profile();
+    ASSERT_EQ(profile.size(), 4u);
+    EXPECT_DOUBLE_EQ(profile[3], 0.125);
+}
+
+TEST(Pressure, PageOutReleases)
+{
+    PressureTracker tracker(2, 4);
+    tracker.pageIn(1);
+    tracker.pageOut(1);
+    EXPECT_EQ(tracker.occupied(1), 0u);
+    EXPECT_THROW(tracker.pageOut(1), PanicError);
+}
+
+TEST(Pressure, OverflowCounted)
+{
+    PressureTracker tracker(1, 2);
+    tracker.pageIn(0);
+    tracker.pageIn(0);
+    EXPECT_EQ(tracker.overflows.value(), 0u);
+    tracker.pageIn(0);
+    EXPECT_EQ(tracker.overflows.value(), 1u);
+}
+
+TEST(Pressure, WouldExceedThreshold)
+{
+    PressureTracker tracker(1, 4);
+    tracker.pageIn(0);
+    tracker.pageIn(0);
+    tracker.pageIn(0);
+    EXPECT_FALSE(tracker.wouldExceed(0, 1.0));
+    tracker.pageIn(0);
+    EXPECT_TRUE(tracker.wouldExceed(0, 1.0));
+    EXPECT_FALSE(tracker.wouldExceed(0, 2.0));
+}
+
+/** Uniform virtual layout gives uniform pressure (paper Section 6). */
+TEST(Pressure, SequentialPagesSpreadUniformly)
+{
+    VmFixtureParts f;
+    VcomaAllocator alloc(f.layout, f.pressure, 32);
+    PageTable pt(12, alloc);
+    // 4 * 256 sequential pages: every colour gets exactly 4.
+    for (PageNum vpn = 0; vpn < 1024; ++vpn)
+        pt.ensureResident(vpn << 12);
+    for (std::uint64_t c = 0; c < 256; ++c)
+        EXPECT_EQ(f.pressure.occupied(c), 4u) << "colour " << c;
+}

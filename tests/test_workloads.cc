@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Workload-generator tests: stream well-formedness (addresses inside
+ * allocated segments, matched barriers and locks), determinism,
+ * scaling, and algorithmic correctness (RADIX really sorts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+struct DrainResult
+{
+    std::vector<std::uint64_t> refsPerThread;
+    std::vector<std::uint64_t> barriersPerThread;
+    std::vector<MemRef> firstRefs;  // thread 0's first refs
+    std::uint64_t totalRefs = 0;
+    std::uint64_t lockAcquires = 0;
+    std::uint64_t lockReleases = 0;
+    bool addressesInBounds = true;
+};
+
+/**
+ * Drain every thread with a barrier-aware round-robin interleaver
+ * (no timing model): threads advance one event at a time; a thread
+ * reaching a barrier parks until all live threads arrive.
+ */
+DrainResult
+drainWorkload(Workload &w, std::size_t keepFirst = 0)
+{
+    const unsigned P = w.numThreads();
+    DrainResult result;
+    result.refsPerThread.assign(P, 0);
+    result.barriersPerThread.assign(P, 0);
+
+    std::vector<Generator<MemRef>> gens;
+    gens.reserve(P);
+    for (unsigned t = 0; t < P; ++t)
+        gens.push_back(w.thread(t));
+
+    const auto &segments = w.space().segments();
+    auto inBounds = [&](VAddr a) {
+        for (const auto &seg : segments) {
+            if (a >= seg.base && a < seg.end())
+                return true;
+        }
+        return false;
+    };
+
+    std::vector<bool> done(P, false);
+    std::vector<int> parkedAt(P, -1);
+    unsigned live = P;
+    while (live > 0) {
+        bool progressed = false;
+        for (unsigned t = 0; t < P; ++t) {
+            if (done[t] || parkedAt[t] >= 0)
+                continue;
+            auto ref = gens[t].next();
+            progressed = true;
+            if (!ref) {
+                done[t] = true;
+                --live;
+                continue;
+            }
+            switch (ref->kind) {
+              case MemRef::Kind::Mem:
+                ++result.refsPerThread[t];
+                ++result.totalRefs;
+                if (!inBounds(ref->vaddr))
+                    result.addressesInBounds = false;
+                if (t == 0 && result.firstRefs.size() < keepFirst)
+                    result.firstRefs.push_back(*ref);
+                break;
+              case MemRef::Kind::Barrier: {
+                ++result.barriersPerThread[t];
+                parkedAt[t] = static_cast<int>(ref->syncId);
+                // Release when all non-done threads parked at the
+                // same barrier.
+                unsigned waiting = 0;
+                for (unsigned u = 0; u < P; ++u) {
+                    if (!done[u] && parkedAt[u] == parkedAt[t])
+                        ++waiting;
+                }
+                if (waiting == live) {
+                    for (unsigned u = 0; u < P; ++u)
+                        parkedAt[u] = -1;
+                }
+                break;
+              }
+              case MemRef::Kind::LockAcquire:
+                ++result.lockAcquires;
+                break;
+              case MemRef::Kind::LockRelease:
+                ++result.lockReleases;
+                break;
+            }
+        }
+        if (!progressed && live > 0) {
+            ADD_FAILURE() << "barrier deadlock while draining";
+            break;
+        }
+    }
+    return result;
+}
+
+WorkloadParams
+params4(double scale = 0.05, std::uint64_t seed = 3)
+{
+    WorkloadParams p;
+    p.threads = 4;
+    p.scale = scale;
+    p.seed = seed;
+    return p;
+}
+
+} // namespace
+
+class WorkloadStream : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadStream, EveryThreadEmitsRefsInBounds)
+{
+    auto w = makeWorkload(GetParam(), params4());
+    const DrainResult r = drainWorkload(*w);
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_GT(r.refsPerThread[t], 0u) << "thread " << t;
+    EXPECT_TRUE(r.addressesInBounds);
+    EXPECT_EQ(r.lockAcquires, r.lockReleases);
+}
+
+TEST_P(WorkloadStream, BarrierCountsMatchAcrossThreads)
+{
+    auto w = makeWorkload(GetParam(), params4());
+    const DrainResult r = drainWorkload(*w);
+    for (unsigned t = 1; t < 4; ++t)
+        EXPECT_EQ(r.barriersPerThread[t], r.barriersPerThread[0]);
+}
+
+TEST_P(WorkloadStream, DeterministicForSameSeed)
+{
+    auto w1 = makeWorkload(GetParam(), params4(0.05, 9));
+    auto w2 = makeWorkload(GetParam(), params4(0.05, 9));
+    const DrainResult a = drainWorkload(*w1, 200);
+    const DrainResult b = drainWorkload(*w2, 200);
+    EXPECT_EQ(a.totalRefs, b.totalRefs);
+    ASSERT_EQ(a.firstRefs.size(), b.firstRefs.size());
+    for (std::size_t i = 0; i < a.firstRefs.size(); ++i) {
+        EXPECT_EQ(a.firstRefs[i].vaddr, b.firstRefs[i].vaddr);
+        EXPECT_EQ(a.firstRefs[i].type, b.firstRefs[i].type);
+    }
+}
+
+TEST_P(WorkloadStream, FootprintReported)
+{
+    auto w = makeWorkload(GetParam(), params4());
+    EXPECT_GT(w->sharedBytes(), 0u);
+    EXPECT_FALSE(w->parameters().empty());
+    EXPECT_FALSE(w->space().segments().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadStream,
+    ::testing::Values("RADIX", "FFT", "FMM", "OCEAN", "RAYTRACE",
+                      "BARNES", "UNIFORM", "STRIDE"));
+
+// ---------------------------------------------------------------------
+// Workload-specific behaviour.
+// ---------------------------------------------------------------------
+
+TEST(WorkloadScaling, ScaleGrowsFootprint)
+{
+    for (const char *name : {"RADIX", "FFT", "BARNES"}) {
+        auto small = makeWorkload(name, params4(0.1));
+        auto large = makeWorkload(name, params4(8.0));
+        EXPECT_GT(large->sharedBytes(), small->sharedBytes()) << name;
+    }
+}
+
+TEST(WorkloadNames, FactoryIsCaseInsensitiveAndRejectsUnknown)
+{
+    EXPECT_NO_THROW(makeWorkload("radix", params4()));
+    EXPECT_NO_THROW(makeWorkload("Ocean", params4()));
+    EXPECT_THROW(makeWorkload("NOSUCH", params4()), FatalError);
+    EXPECT_EQ(workloadNames().size(), 9u);
+}
+
+TEST(RadixWorkload, ReallySortsItsKeys)
+{
+    // RADIX ends with a check phase that panics if the output array
+    // is not sorted; the drain honours barriers, so the host-side
+    // sort runs exactly as it would on the simulated machine.
+    auto w = makeWorkload("RADIX", params4(0.05));
+    EXPECT_NO_FATAL_FAILURE(drainWorkload(*w));
+}
+
+TEST(RaytraceLayout, V1StacksAreAligned32k)
+{
+    auto w = makeWorkload("RAYTRACE", params4(0.05));
+    unsigned found = 0;
+    for (const auto &seg : w->space().segments()) {
+        if (seg.name.rfind("raytrace.raystruct", 0) == 0) {
+            EXPECT_EQ(seg.base % 32768, 0u) << seg.name;
+            // Hot page colour is a multiple of 8 (32 KB / 4 KB).
+            EXPECT_EQ((seg.base >> 12) % 8, 0u);
+            ++found;
+        }
+    }
+    EXPECT_EQ(found, 4u);
+}
+
+TEST(RaytraceLayout, V2StacksArePacked)
+{
+    WorkloadParams p = params4(0.05);
+    p.raytraceV2Layout = true;
+    auto w = makeWorkload("RAYTRACE", p);
+    std::vector<VAddr> bases;
+    for (const auto &seg : w->space().segments()) {
+        if (seg.name.rfind("raytrace.raystruct", 0) == 0)
+            bases.push_back(seg.base);
+    }
+    ASSERT_EQ(bases.size(), 4u);
+    for (std::size_t i = 1; i < bases.size(); ++i)
+        EXPECT_EQ(bases[i] - bases[i - 1], 8192u);
+}
+
+TEST(OceanWorkload, NeighbourRowsAreShared)
+{
+    // Thread t's stencil reads include rows owned by t-1 and t+1:
+    // check that some addresses of thread 1's stream fall into
+    // thread 0's band.
+    auto w = makeWorkload("OCEAN", params4());
+    auto gen = w->thread(1);
+    bool touchesForeign = false;
+    const auto &segments = w->space().segments();
+    const VAddr grid0 = segments.at(0).base;
+    for (int i = 0; i < 2000; ++i) {
+        auto ref = gen.next();
+        if (!ref)
+            break;
+        if (ref->kind != MemRef::Kind::Mem)
+            continue;
+        // Row 32 is thread 0's last row at dim 128 with 4 threads;
+        // thread 1 starts at row 33 and reads row 32 (north halo).
+        const std::uint64_t cellBytes = 8;
+        const std::uint64_t rowBytes = (128 + 2) * cellBytes;
+        if (ref->vaddr >= grid0 && ref->vaddr < grid0 + 33 * rowBytes)
+            touchesForeign = true;
+    }
+    EXPECT_TRUE(touchesForeign);
+}
+
+TEST(FftWorkload, TransposeReadsOtherPartitions)
+{
+    auto w = makeWorkload("FFT", params4());
+    auto gen = w->thread(0);
+    // First phase is the transpose: thread 0 writes its own rows but
+    // reads columns spanning the whole matrix.
+    const auto &segs = w->space().segments();
+    const auto &xSeg = segs.at(0);
+    bool readsFarHalf = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto ref = gen.next();
+        if (!ref || ref->kind == MemRef::Kind::Barrier)
+            break;
+        if (ref->kind == MemRef::Kind::Mem &&
+            ref->type == RefType::Read &&
+            ref->vaddr >= xSeg.base + xSeg.bytes / 2 &&
+            ref->vaddr < xSeg.end())
+            readsFarHalf = true;
+    }
+    EXPECT_TRUE(readsFarHalf);
+}
+
+TEST(BarnesWorkload, ForceWalksShareTopOfTree)
+{
+    // The root cell must be read by every thread during the force
+    // phase: count reads of the first cell address across threads.
+    auto w = makeWorkload("BARNES", params4());
+    const auto &segs = w->space().segments();
+    VAddr cellsBase = 0;
+    for (const auto &seg : segs) {
+        if (seg.name == "barnes.cells")
+            cellsBase = seg.base;
+    }
+    ASSERT_NE(cellsBase, 0u);
+    unsigned threadsTouchingRoot = 0;
+    for (unsigned t = 0; t < 4; ++t) {
+        auto gen = w->thread(t);
+        bool touched = false;
+        for (int i = 0; i < 200000; ++i) {
+            auto ref = gen.next();
+            if (!ref)
+                break;
+            if (ref->kind == MemRef::Kind::Mem &&
+                ref->vaddr >= cellsBase && ref->vaddr < cellsBase + 128)
+                touched = true;
+        }
+        if (touched)
+            ++threadsTouchingRoot;
+    }
+    EXPECT_EQ(threadsTouchingRoot, 4u);
+}

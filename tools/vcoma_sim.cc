@@ -1,0 +1,219 @@
+/**
+ * @file
+ * vcoma_sim — the command-line front end of the simulator.
+ *
+ * Runs one workload (built-in kernel or recorded trace) on one machine
+ * configuration and reports the stats sheet; can also record traces
+ * and dump the full per-component statistics hierarchy.
+ *
+ *   vcoma_sim --workload FFT --scheme VCOMA --entries 8
+ *   vcoma_sim --workload RADIX --scheme L0 --entries 16 --assoc 1
+ *   vcoma_sim --workload BARNES --record barnes.trace
+ *   vcoma_sim --replay barnes.trace --scheme L3 --dump-stats
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/machine.hh"
+#include "sim/trace.hh"
+#include "translation/system_builder.hh"
+#include "workloads/workload.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "RADIX";
+    std::string replayPath;
+    std::string recordPath;
+    Scheme scheme = Scheme::VCOMA;
+    unsigned entries = 8;
+    unsigned assoc = 0;
+    unsigned nodes = 32;
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    bool timed = true;
+    bool dumpStats = false;
+    bool raytraceV2 = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: vcoma_sim [options]\n"
+        "  --workload NAME   RADIX FFT FMM OCEAN RAYTRACE BARNES\n"
+        "                    UNIFORM STRIDE (default RADIX)\n"
+        "  --scheme S        L0 L1 L2 L3 VCOMA (default VCOMA)\n"
+        "  --entries N       TLB/DLB entries; 0 = software-managed\n"
+        "  --assoc N         TLB/DLB associativity; 0 = fully assoc.\n"
+        "  --nodes N         processing nodes (power of two, <= 64)\n"
+        "  --scale X         problem-size scale (default 1.0)\n"
+        "  --seed N          deterministic seed\n"
+        "  --untimed         do not charge translation-miss penalties\n"
+        "  --raytrace-v2     page-aligned ray stacks (Figure 10 V2)\n"
+        "  --record FILE     write the reference trace and exit\n"
+        "  --replay FILE     simulate a recorded trace\n"
+        "  --dump-stats      print the per-component stats hierarchy\n"
+        "  --help\n";
+    std::exit(code);
+}
+
+Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "L0") return Scheme::L0;
+    if (s == "L1") return Scheme::L1;
+    if (s == "L2") return Scheme::L2;
+    if (s == "L3") return Scheme::L3;
+    if (s == "VCOMA" || s == "V-COMA") return Scheme::VCOMA;
+    std::cerr << "unknown scheme '" << s << "'\n";
+    usage(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    auto value = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            usage(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workload")
+            opt.workload = value(i);
+        else if (arg == "--scheme")
+            opt.scheme = parseScheme(value(i));
+        else if (arg == "--entries")
+            opt.entries = static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--assoc")
+            opt.assoc = static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--nodes")
+            opt.nodes = static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--scale")
+            opt.scale = std::stod(value(i));
+        else if (arg == "--seed")
+            opt.seed = std::stoull(value(i));
+        else if (arg == "--untimed")
+            opt.timed = false;
+        else if (arg == "--raytrace-v2")
+            opt.raytraceV2 = true;
+        else if (arg == "--record")
+            opt.recordPath = value(i);
+        else if (arg == "--replay")
+            opt.replayPath = value(i);
+        else if (arg == "--dump-stats")
+            opt.dumpStats = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            usage(2);
+        }
+    }
+    return opt;
+}
+
+std::unique_ptr<Workload>
+buildWorkload(const Options &opt)
+{
+    if (!opt.replayPath.empty()) {
+        std::ifstream in(opt.replayPath);
+        if (!in) {
+            std::cerr << "cannot open trace '" << opt.replayPath
+                      << "'\n";
+            std::exit(1);
+        }
+        return std::make_unique<TraceWorkload>(in);
+    }
+    WorkloadParams params;
+    params.threads = opt.nodes;
+    params.scale = opt.scale;
+    params.seed = opt.seed;
+    params.raytraceV2Layout = opt.raytraceV2;
+    return makeWorkload(opt.workload, params);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const Options opt = parse(argc, argv);
+    auto workload = buildWorkload(opt);
+
+    if (!opt.recordPath.empty()) {
+        std::ofstream out(opt.recordPath);
+        if (!out) {
+            std::cerr << "cannot write '" << opt.recordPath << "'\n";
+            return 1;
+        }
+        const std::uint64_t events = recordTrace(*workload, out);
+        std::cout << "recorded " << events << " events from "
+                  << workload->name() << " to " << opt.recordPath
+                  << "\n";
+        return 0;
+    }
+
+    MachineConfig cfg =
+        baselineConfig(opt.scheme, opt.entries, opt.assoc);
+    cfg.numNodes = opt.nodes;
+    cfg.timedTranslation = opt.timed;
+    cfg.seed = opt.seed;
+    Machine machine(cfg);
+
+    const RunStats stats = machine.run(*workload);
+
+    std::cout << "workload     : " << stats.workload << " ("
+              << stats.parameters << ")\n"
+              << "scheme       : " << schemeName(stats.scheme)
+              << ", TLB/DLB " << opt.entries << " entries, "
+              << (opt.assoc == 0 ? std::string("fully associative")
+                                 : std::to_string(opt.assoc) + "-way")
+              << "\n"
+              << "nodes        : " << stats.numNodes << "\n"
+              << "references   : " << stats.totalRefs() << "\n"
+              << "exec time    : " << stats.execTime << " cycles\n";
+    const double total = static_cast<double>(
+        stats.totalBusy() + stats.totalSync() + stats.totalLocStall() +
+        stats.totalRemStall() + stats.totalXlatStall());
+    auto pct = [&](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * v / total);
+        return std::string(buf);
+    };
+    std::cout << "breakdown    : busy " << pct(stats.totalBusy())
+              << ", sync " << pct(stats.totalSync()) << ", local "
+              << pct(stats.totalLocStall()) << ", remote "
+              << pct(stats.totalRemStall()) << ", translation "
+              << pct(stats.totalXlatStall()) << "\n"
+              << "translation  : " << stats.tlbMisses << "/"
+              << stats.tlbAccesses << " demand misses/accesses\n"
+              << "protocol     : " << stats.remoteReads
+              << " remote reads, " << stats.remoteWrites
+              << " remote writes, " << stats.upgrades << " upgrades, "
+              << stats.injections << " injections\n"
+              << "network      : " << stats.requestMessages
+              << " requests, " << stats.blockMessages
+              << " block messages\n";
+
+    if (opt.dumpStats) {
+        std::cout << "\n";
+        machine.dumpStats(std::cout);
+    }
+    return 0;
+} catch (const std::exception &e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+}
