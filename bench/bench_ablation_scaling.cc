@@ -13,6 +13,10 @@ main(int argc, char **argv)
     const vcoma_bench::TableSink sink(argc, argv);
     const double scale = vcoma_bench::banner("Ablation (scaling)");
     vcoma::Runner runner;
+    // The whole sweep, built up front: cache misses execute
+    // concurrently on VCOMA_JOBS workers, and the table code
+    // below renders from memo hits (byte-identical to serial).
+    runner.runAll(vcoma::dlbScalingConfigs(scale));
     sink(vcoma::dlbScaling(runner, scale));
     vcoma_bench::footer(runner);
     return 0;

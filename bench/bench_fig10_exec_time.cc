@@ -14,6 +14,10 @@ main(int argc, char **argv)
     const vcoma_bench::TableSink sink(argc, argv);
     const double scale = vcoma_bench::banner("Figure 10 (execution time)");
     vcoma::Runner runner;
+    // The whole sweep, built up front: cache misses execute
+    // concurrently on VCOMA_JOBS workers, and the table code
+    // below renders from memo hits (byte-identical to serial).
+    runner.runAll(vcoma::figure10Configs(scale));
     for (const auto &table : vcoma::figure10ExecTime(runner, scale))
         sink(table);
     vcoma_bench::footer(runner);

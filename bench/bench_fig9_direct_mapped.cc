@@ -12,6 +12,10 @@ main(int argc, char **argv)
     const vcoma_bench::TableSink sink(argc, argv);
     const double scale = vcoma_bench::banner("Figure 9 (direct mapped)");
     vcoma::Runner runner;
+    // The whole sweep, built up front: cache misses execute
+    // concurrently on VCOMA_JOBS workers, and the table code
+    // below renders from memo hits (byte-identical to serial).
+    runner.runAll(vcoma::missStudySweepConfigs(scale));
     for (const auto &table : vcoma::figure9DirectMapped(runner, scale))
         sink(table);
     vcoma_bench::footer(runner);

@@ -2,7 +2,11 @@
  * @file
  * Shared scaffolding for the per-table/figure benchmark binaries:
  * a Runner wired to the environment ($VCOMA_SCALE problem scale,
- * $VCOMA_CACHE_DIR / $VCOMA_NO_CACHE result cache) and a banner.
+ * $VCOMA_CACHE_DIR / $VCOMA_NO_CACHE result cache, $VCOMA_JOBS
+ * parallel workers) and a banner.
+ *
+ * The banner deliberately never prints the effective job count:
+ * bench output must stay byte-identical whatever VCOMA_JOBS is.
  */
 
 #ifndef VCOMA_BENCH_BENCH_UTIL_HH
@@ -25,7 +29,8 @@ banner(const char *what)
     std::cout << "V-COMA reproduction - " << what << "\n"
               << "(problem scale " << scale
               << "; set VCOMA_SCALE to change, VCOMA_SCALE=16 "
-                 "approaches the paper's data sets)\n\n";
+                 "approaches the paper's data sets; VCOMA_JOBS "
+                 "bounds the parallel workers)\n\n";
     return scale;
 }
 

@@ -1,0 +1,71 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    threads = std::max(threads, 1u);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping, and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::max(std::thread::hardware_concurrency(), 1u);
+    const char *s = std::getenv("VCOMA_JOBS");
+    if (!s)
+        return hw;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0') {
+        // runAll() consults this on every batch; warn only once.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("unparsable VCOMA_JOBS='", s, "': using ", hw,
+                 " hardware thread(s)");
+        return hw;
+    }
+    if (v == 0)
+        return hw;
+    return static_cast<unsigned>(std::min<unsigned long>(v, 1024));
+}
+
+} // namespace vcoma

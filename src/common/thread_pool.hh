@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A fixed-size worker pool draining one FIFO queue. Deliberately
+ * work-stealing-free: tasks start in submission order, so a batch of
+ * deterministic, independent jobs (one simulation each) produces the
+ * same results regardless of how many workers drain the queue.
+ */
+
+#ifndef VCOMA_COMMON_THREAD_POOL_HH
+#define VCOMA_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace vcoma
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawns @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads = defaultThreads());
+
+    /** Runs every queued task to completion, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue a callable; its result (or exception) is delivered
+     * through the returned future.
+     */
+    template <typename F>
+    auto
+    submit(F &&f) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(f));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+    /**
+     * Worker count from $VCOMA_JOBS: a positive integer is taken as
+     * is, 0 or an unset variable means "one per hardware thread", and
+     * anything unparsable warns and falls back to the hardware count.
+     */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::queue<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_COMMON_THREAD_POOL_HH

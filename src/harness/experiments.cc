@@ -36,7 +36,150 @@ schemeCountsWritebacks(Scheme scheme)
            scheme == Scheme::VCOMA;
 }
 
+ExperimentConfig
+timedConfig(const std::string &workload, Scheme scheme, unsigned entries,
+            unsigned assoc, double scale, bool v2 = false)
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.scheme = scheme;
+    cfg.tlbEntries = entries;
+    cfg.tlbAssoc = assoc;
+    cfg.timedTranslation = true;
+    cfg.scale = scale;
+    cfg.raytraceV2 = v2;
+    return cfg;
+}
+
 } // namespace
+
+std::vector<ExperimentConfig>
+missStudySweepConfigs(double scale)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (const auto &name : paperBenchmarks())
+        for (Scheme s : allSchemes)
+            cfgs.push_back(missStudyConfig(name, s, scale));
+    return cfgs;
+}
+
+std::vector<ExperimentConfig>
+missStudyVcomaConfigs(double scale)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (const auto &name : paperBenchmarks())
+        cfgs.push_back(missStudyConfig(name, Scheme::VCOMA, scale));
+    return cfgs;
+}
+
+std::vector<ExperimentConfig>
+table4Configs(double scale)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (unsigned entries : {8u, 16u})
+        for (Scheme s : {Scheme::L0, Scheme::VCOMA})
+            for (const auto &name : paperBenchmarks())
+                cfgs.push_back(timedConfig(name, s, entries, 0, scale));
+    return cfgs;
+}
+
+std::vector<ExperimentConfig>
+figure10Configs(double scale)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (const auto &name : paperBenchmarks()) {
+        const std::vector<std::uint64_t> seeds =
+            name == "RAYTRACE" ? std::vector<std::uint64_t>{1, 2, 3}
+                               : std::vector<std::uint64_t>{1};
+        for (std::uint64_t seed : seeds) {
+            for (unsigned assoc : {0u, 1u}) {
+                for (Scheme s : {Scheme::L0, Scheme::VCOMA}) {
+                    ExperimentConfig cfg =
+                        timedConfig(name, s, 8, assoc, scale);
+                    cfg.seed = seed;
+                    cfgs.push_back(cfg);
+                }
+            }
+            if (name == "RAYTRACE") {
+                ExperimentConfig cfg = timedConfig(
+                    name, Scheme::VCOMA, 8, 0, scale, true);
+                cfg.seed = seed;
+                cfgs.push_back(cfg);
+            }
+        }
+    }
+    return cfgs;
+}
+
+std::vector<ExperimentConfig>
+dlbScalingConfigs(double scale)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (unsigned nodes : {8u, 16u, 32u, 64u}) {
+        for (Scheme s : {Scheme::VCOMA, Scheme::L3}) {
+            ExperimentConfig cfg = missStudyConfig("RADIX", s, scale);
+            cfg.nodes = nodes;
+            cfgs.push_back(cfg);
+        }
+    }
+    return cfgs;
+}
+
+std::vector<ExperimentConfig>
+softwareTlbConfigs(double scale)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (const auto &name : paperBenchmarks()) {
+        ExperimentConfig sw = timedConfig(name, Scheme::L2, 0, 0, scale);
+        sw.xlatPenalty = 200; // softwareManagedTranslation's trap cost
+        cfgs.push_back(sw);
+        cfgs.push_back(timedConfig(name, Scheme::L2, 8, 0, scale));
+        cfgs.push_back(timedConfig(name, Scheme::L2, 32, 0, scale));
+    }
+    return cfgs;
+}
+
+std::vector<ExperimentConfig>
+amAssociativityConfigs(double scale)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (unsigned assoc : {1u, 2u, 4u, 8u}) {
+        ExperimentConfig cfg =
+            timedConfig("RAYTRACE", Scheme::VCOMA, 8, 0, scale);
+        cfg.amAssoc = assoc;
+        cfgs.push_back(cfg);
+    }
+    return cfgs;
+}
+
+std::vector<ExperimentConfig>
+xlatCostConfigs(double scale)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (Cycles penalty : {20u, 40u, 80u, 160u}) {
+        for (Scheme s : {Scheme::L0, Scheme::VCOMA}) {
+            ExperimentConfig cfg = timedConfig("RADIX", s, 8, 0, scale);
+            cfg.xlatPenalty = penalty;
+            cfgs.push_back(cfg);
+        }
+    }
+    return cfgs;
+}
+
+std::vector<ExperimentConfig>
+layoutPressureConfigs(double scale)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (const char *name : {"UNIFORM", "HOTSPOT"}) {
+        ExperimentConfig cfg;
+        cfg.workload = name;
+        cfg.scheme = Scheme::VCOMA;
+        cfg.scale = scale;
+        cfg.timedTranslation = false;
+        cfgs.push_back(cfg);
+    }
+    return cfgs;
+}
 
 Table
 table1Benchmarks(double scale)
@@ -58,6 +201,7 @@ table1Benchmarks(double scale)
 std::vector<Table>
 figure8MissCurves(Runner &runner, double scale)
 {
+    runner.runAll(missStudySweepConfigs(scale));
     std::vector<Table> tables;
     for (const auto &name : paperBenchmarks()) {
         Table t("Figure 8 (" + name +
@@ -89,6 +233,7 @@ figure8MissCurves(Runner &runner, double scale)
 Table
 table2MissRates(Runner &runner, double scale)
 {
+    runner.runAll(missStudySweepConfigs(scale));
     Table t("Table 2: TLB/DLB miss rates per processor reference (%)");
     std::vector<std::string> header{"SYSTEM"};
     for (unsigned size : {8u, 32u, 128u}) {
@@ -157,6 +302,7 @@ equivalentSize(const RunStats &stats, bool includeWritebacks,
 Table
 table3EquivalentSize(Runner &runner, double scale)
 {
+    runner.runAll(missStudySweepConfigs(scale));
     Table t("Table 3: TLB size equivalent to an 8-entry DLB");
     t.header({"Benchmark", "L0-TLB", "L1-TLB", "L2-TLB", "L3-TLB",
               "DLB/8 misses/node"});
@@ -186,6 +332,7 @@ table3EquivalentSize(Runner &runner, double scale)
 std::vector<Table>
 figure9DirectMapped(Runner &runner, double scale)
 {
+    runner.runAll(missStudySweepConfigs(scale));
     std::vector<Table> tables;
     for (const auto &name : paperBenchmarks()) {
         Table t("Figure 9 (" + name +
@@ -215,29 +362,10 @@ figure9DirectMapped(Runner &runner, double scale)
     return tables;
 }
 
-namespace
-{
-
-ExperimentConfig
-timedConfig(const std::string &workload, Scheme scheme, unsigned entries,
-            unsigned assoc, double scale, bool v2 = false)
-{
-    ExperimentConfig cfg;
-    cfg.workload = workload;
-    cfg.scheme = scheme;
-    cfg.tlbEntries = entries;
-    cfg.tlbAssoc = assoc;
-    cfg.timedTranslation = true;
-    cfg.scale = scale;
-    cfg.raytraceV2 = v2;
-    return cfg;
-}
-
-} // namespace
-
 Table
 table4StallShare(Runner &runner, double scale)
 {
+    runner.runAll(table4Configs(scale));
     Table t("Table 4: address translation time / total stall time (%)");
     std::vector<std::string> header{"Config"};
     for (const auto &name : paperBenchmarks())
@@ -270,6 +398,7 @@ table4StallShare(Runner &runner, double scale)
 std::vector<Table>
 figure10ExecTime(Runner &runner, double scale)
 {
+    runner.runAll(figure10Configs(scale));
     std::vector<Table> tables;
     for (const auto &name : paperBenchmarks()) {
         Table t("Figure 10 (" + name +
@@ -340,6 +469,7 @@ figure10ExecTime(Runner &runner, double scale)
 std::vector<Table>
 figure11Pressure(Runner &runner, double scale)
 {
+    runner.runAll(missStudyVcomaConfigs(scale));
     std::vector<Table> tables;
     for (const auto &name : paperBenchmarks()) {
         const RunStats &stats =
@@ -396,6 +526,7 @@ tagOverheadTable()
 Table
 injectionBehaviour(Runner &runner, double scale)
 {
+    runner.runAll(missStudyVcomaConfigs(scale));
     Table t("Ablation: injection behaviour under V-COMA");
     t.header({"Benchmark", "injections", "hops", "hops/injection",
               "shared drops", "swap-outs"});
@@ -418,6 +549,7 @@ injectionBehaviour(Runner &runner, double scale)
 Table
 dlbScaling(Runner &runner, double scale)
 {
+    runner.runAll(dlbScalingConfigs(scale));
     Table t("Ablation: DLB sharing effect vs machine size (RADIX)");
     t.header({"nodes", "DLB/8 miss rate (%)", "L3-TLB/8 miss rate (%)"});
     for (unsigned nodes : {8u, 16u, 32u, 64u}) {
@@ -444,6 +576,7 @@ softwareManagedTranslation(Runner &runner, double scale)
     // refill; Jacob & Mudge report tens to hundreds of cycles.
     constexpr Cycles softwareTrap = 200;
 
+    runner.runAll(softwareTlbConfigs(scale));
     Table t("Ablation: software-managed translation as a 0-entry "
             "L2-TLB (trap cost " + std::to_string(softwareTrap) +
             " cycles) vs hardware L2-TLBs");
@@ -481,6 +614,7 @@ softwareManagedTranslation(Runner &runner, double scale)
 Table
 amAssociativity(Runner &runner, double scale)
 {
+    runner.runAll(amAssociativityConfigs(scale));
     Table t("Ablation: attraction-memory associativity under V-COMA "
             "(RAYTRACE)");
     t.header({"assoc", "global-set capacity", "exec time", "injections",
@@ -506,6 +640,7 @@ amAssociativity(Runner &runner, double scale)
 Table
 translationCostSensitivity(Runner &runner, double scale)
 {
+    runner.runAll(xlatCostConfigs(scale));
     Table t("Ablation: sensitivity to the translation-miss service "
             "time (RADIX exec time, millions of cycles)");
     t.header({"miss service (cycles)", "L0-TLB/8", "V-COMA DLB/8"});
@@ -527,6 +662,7 @@ translationCostSensitivity(Runner &runner, double scale)
 Table
 layoutPressure(Runner &runner, double scale)
 {
+    runner.runAll(layoutPressureConfigs(scale));
     Table t("Ablation: virtual-layout pressure on the global page "
             "sets (V-COMA)");
     t.header({"layout", "mean pressure", "max pressure", "max/mean",

@@ -17,6 +17,42 @@
 namespace vcoma
 {
 
+/**
+ * Config-list builders: each experiment enumerates every simulation it
+ * will read up front, so the bench binaries (and the table generators
+ * themselves) can submit the whole sweep through Runner::runAll and
+ * execute cache misses concurrently. The table generators below then
+ * render from memo hits, so their output is byte-identical to a
+ * serial run.
+ */
+
+/** All benchmarks x all five schemes, untimed (Fig. 8/9, Tables 2/3). */
+std::vector<ExperimentConfig> missStudySweepConfigs(double scale);
+
+/** All benchmarks under V-COMA, untimed (Fig. 11, injection ablation). */
+std::vector<ExperimentConfig> missStudyVcomaConfigs(double scale);
+
+/** Table 4's timed TLB/DLB size points. */
+std::vector<ExperimentConfig> table4Configs(double scale);
+
+/** Figure 10's timed variants (and RAYTRACE seed averages). */
+std::vector<ExperimentConfig> figure10Configs(double scale);
+
+/** DLB scaling ablation: RADIX at 8..64 nodes, V-COMA vs L3. */
+std::vector<ExperimentConfig> dlbScalingConfigs(double scale);
+
+/** Software-managed translation ablation sweep. */
+std::vector<ExperimentConfig> softwareTlbConfigs(double scale);
+
+/** Attraction-memory associativity ablation sweep. */
+std::vector<ExperimentConfig> amAssociativityConfigs(double scale);
+
+/** Translation-miss service time sensitivity sweep. */
+std::vector<ExperimentConfig> xlatCostConfigs(double scale);
+
+/** Layout-pressure ablation (UNIFORM vs HOTSPOT). */
+std::vector<ExperimentConfig> layoutPressureConfigs(double scale);
+
 /** Table 1: benchmark parameters and shared-memory footprints. */
 Table table1Benchmarks(double scale);
 

@@ -1,11 +1,18 @@
 #include "harness/runner.hh"
 
+#include <unistd.h>
+
+#include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "sim/machine.hh"
 #include "translation/system_builder.hh"
 #include "workloads/workload.hh"
@@ -17,6 +24,30 @@ namespace
 {
 
 constexpr const char *cacheMagic = "vcoma-cache-v3";
+
+/**
+ * Is the boolean-ish environment variable @p name set to a truthy
+ * value? "", "0", "false", "no" and "off" (any case) are falsy;
+ * "1", "true", "yes" and "on" are truthy; anything else warns and
+ * counts as truthy (the variable was set, so honour the intent).
+ */
+bool
+envTruthy(const char *name)
+{
+    const char *s = std::getenv(name);
+    if (!s)
+        return false;
+    std::string v(s);
+    for (char &c : v)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (v.empty() || v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    if (v != "1" && v != "true" && v != "yes" && v != "on")
+        warn(name, "='", s, "' is not a recognised boolean; "
+             "treating as enabled");
+    return true;
+}
 
 } // namespace
 
@@ -48,43 +79,125 @@ Runner::Runner(std::string cacheDir) : cacheDir_(std::move(cacheDir))
 double
 Runner::envScale()
 {
-    if (const char *s = std::getenv("VCOMA_SCALE")) {
-        const double v = std::atof(s);
-        if (v > 0)
-            return v;
+    const char *s = std::getenv("VCOMA_SCALE");
+    if (!s || !*s)
+        return 1.0;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || !std::isfinite(v) || v <= 0) {
+        warn("unparsable VCOMA_SCALE='", s, "': using scale 1.0");
+        return 1.0;
     }
-    return 1.0;
+    return v;
 }
 
 std::string
 Runner::defaultCacheDir()
 {
-    if (const char *s = std::getenv("VCOMA_NO_CACHE")) {
-        if (s[0] == '1')
-            return "";
-    }
+    if (envTruthy("VCOMA_NO_CACHE"))
+        return "";
     if (const char *s = std::getenv("VCOMA_CACHE_DIR"))
         return s;
     return ".vcoma_cache";
+}
+
+unsigned
+Runner::envJobs()
+{
+    return ThreadPool::defaultThreads();
 }
 
 const RunStats &
 Runner::run(const ExperimentConfig &cfg)
 {
     const std::string key = cfg.key();
-    auto it = memo_.find(key);
-    if (it != memo_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = memo_.find(key);
+        if (it != memo_.end())
+            return it->second;
+    }
 
     RunStats stats;
     const std::string path = cachePath(cfg);
-    if (!path.empty() && load(path, stats))
-        return memo_.emplace(key, std::move(stats)).first->second;
+    if (path.empty() || !load(path, stats)) {
+        stats = execute(cfg);
+        if (!path.empty())
+            store(path, stats);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memo_.emplace(key, std::move(stats)).first->second;
+}
 
-    stats = execute(cfg);
+void
+Runner::executeAndMemoise(const ExperimentConfig &cfg,
+                          const std::string &key)
+{
+    RunStats stats = execute(cfg);
+    const std::string path = cachePath(cfg);
     if (!path.empty())
         store(path, stats);
-    return memo_.emplace(key, std::move(stats)).first->second;
+    std::lock_guard<std::mutex> lock(mutex_);
+    memo_.emplace(key, std::move(stats));
+}
+
+std::vector<const RunStats *>
+Runner::runAll(std::span<const ExperimentConfig> cfgs)
+{
+    std::vector<std::string> keys;
+    keys.reserve(cfgs.size());
+    for (const auto &cfg : cfgs)
+        keys.push_back(cfg.key());
+
+    // Single-threaded triage: satisfy what the memo or the disk cache
+    // already has, and collect the first occurrence of every unique
+    // key that still needs a simulation.
+    std::vector<std::size_t> toRun;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::unordered_set<std::string> scheduled;
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            if (memo_.count(keys[i]) || scheduled.count(keys[i]))
+                continue;
+            RunStats stats;
+            const std::string path = cachePath(cfgs[i]);
+            if (!path.empty() && load(path, stats)) {
+                memo_.emplace(keys[i], std::move(stats));
+                continue;
+            }
+            scheduled.insert(keys[i]);
+            toRun.push_back(i);
+        }
+    }
+
+    const unsigned jobs = static_cast<unsigned>(
+        std::min<std::size_t>(envJobs(), toRun.size()));
+    if (jobs > 1) {
+        ThreadPool pool(jobs);
+        std::vector<std::future<void>> done;
+        done.reserve(toRun.size());
+        for (std::size_t i : toRun) {
+            done.push_back(pool.submit([this, cfg = cfgs[i],
+                                        key = keys[i]] {
+                executeAndMemoise(cfg, key);
+            }));
+        }
+        // Collect in submission order so any exception surfaces
+        // deterministically (the pool's destructor still drains the
+        // queue if one does).
+        for (auto &f : done)
+            f.get();
+    } else {
+        for (std::size_t i : toRun)
+            executeAndMemoise(cfgs[i], keys[i]);
+    }
+
+    std::vector<const RunStats *> results;
+    results.reserve(cfgs.size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &key : keys)
+        results.push_back(&memo_.at(key));
+    return results;
 }
 
 RunStats
@@ -191,9 +304,19 @@ Runner::load(const std::string &path, RunStats &stats) const
 void
 Runner::store(const std::string &path, const RunStats &stats) const
 {
-    std::ofstream out(path + ".tmp");
-    if (!out)
+    // Stage into a temp name unique across processes (pid) and across
+    // threads within one process (a shared counter), then publish with
+    // an atomic rename: concurrent writers of the same key each
+    // produce a complete file and the last rename wins.
+    static std::atomic<unsigned> seq{0};
+    std::ostringstream tmpName;
+    tmpName << path << ".tmp." << ::getpid() << "." << seq.fetch_add(1);
+    const std::string tmp = tmpName.str();
+    std::ofstream out(tmp);
+    if (!out) {
+        warn("cannot create cache file '", tmp, "'");
         return;
+    }
     out << cacheMagic << "\n";
     out << "workload " << stats.workload << "\n";
     out << "parameters " << stats.parameters << "\n";
@@ -232,7 +355,16 @@ Runner::store(const std::string &path, const RunStats &stats) const
     out << "end\n";
     out.close();
     std::error_code ec;
-    std::filesystem::rename(path + ".tmp", path, ec);
+    if (!out) {
+        warn("short write to cache file '", tmp, "': discarding");
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("cannot publish cache file '", path, "': ", ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
 }
 
 const std::vector<std::string> &

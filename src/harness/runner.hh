@@ -4,13 +4,22 @@
  * ExperimentConfig, runs the simulation, and caches the resulting
  * stats sheet both in memory and on disk so that the benchmark
  * binaries (one per paper table/figure) can share simulation runs.
+ *
+ * Batches submitted through runAll() execute concurrently on up to
+ * $VCOMA_JOBS worker threads. Each simulation is single-threaded and
+ * fully deterministic, so a parallel batch is bit-identical to the
+ * same configs run serially; only the wall clock changes.
  */
 
 #ifndef VCOMA_HARNESS_RUNNER_HH
 #define VCOMA_HARNESS_RUNNER_HH
 
+#include <atomic>
 #include <map>
+#include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/config.hh"
 #include "sim/run_stats.hh"
@@ -44,7 +53,17 @@ struct ExperimentConfig
     std::string key() const;
 };
 
-/** Runs experiments with in-memory + on-disk caching. */
+/**
+ * Runs experiments with in-memory + on-disk caching.
+ *
+ * Thread safety: run() and runAll() may be called from any thread;
+ * the memo map and execution counter are internally synchronised.
+ * Returned references stay valid for the Runner's lifetime (the memo
+ * is a node-based map). The disk cache is also safe across processes:
+ * writers stage into unique temp files and publish with an atomic
+ * rename, so concurrent bench binaries sharing one cache directory
+ * never observe partial entries.
+ */
 class Runner
 {
   public:
@@ -58,24 +77,40 @@ class Runner
     /** Run (or recall) the experiment. */
     const RunStats &run(const ExperimentConfig &cfg);
 
+    /**
+     * Run a batch: configs not already memoised or on disk execute
+     * concurrently on up to min($VCOMA_JOBS, batch) worker threads;
+     * duplicates within the batch run once. Results come back in
+     * submission order and are bit-identical to serial execution.
+     */
+    std::vector<const RunStats *>
+    runAll(std::span<const ExperimentConfig> cfgs);
+
     /** Problem scale from $VCOMA_SCALE (default 1.0). */
     static double envScale();
 
-    /** $VCOMA_CACHE_DIR, or ".vcoma_cache"; $VCOMA_NO_CACHE=1 -> "". */
+    /** $VCOMA_CACHE_DIR, or ".vcoma_cache"; truthy $VCOMA_NO_CACHE -> "". */
     static std::string defaultCacheDir();
 
+    /** runAll() worker count: $VCOMA_JOBS, or one per hardware thread. */
+    static unsigned envJobs();
+
     /** Simulations actually executed (not served from cache). */
-    unsigned executed() const { return executed_; }
+    unsigned executed() const { return executed_.load(); }
 
   private:
     RunStats execute(const ExperimentConfig &cfg);
     std::string cachePath(const ExperimentConfig &cfg) const;
     bool load(const std::string &path, RunStats &stats) const;
     void store(const std::string &path, const RunStats &stats) const;
+    /** Execute, store to disk, and memoise one cache-missing config. */
+    void executeAndMemoise(const ExperimentConfig &cfg,
+                           const std::string &key);
 
     std::string cacheDir_;
+    mutable std::mutex mutex_; ///< guards memo_
     std::map<std::string, RunStats> memo_;
-    unsigned executed_ = 0;
+    std::atomic<unsigned> executed_{0};
 };
 
 /** The six paper benchmarks in Table 2's row order. */

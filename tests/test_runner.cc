@@ -5,9 +5,12 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "harness/experiments.hh"
 #include "harness/runner.hh"
@@ -29,6 +32,66 @@ tinyExperiment()
     return cfg;
 }
 
+/** A small batch of distinct, fast configs for the runAll tests. */
+std::vector<ExperimentConfig>
+tinyBatch()
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (const char *name : {"UNIFORM", "STRIDE", "HOTSPOT"}) {
+        for (Scheme s : {Scheme::VCOMA, Scheme::L0}) {
+            ExperimentConfig cfg = tinyExperiment();
+            cfg.workload = name;
+            cfg.scheme = s;
+            cfgs.push_back(cfg);
+        }
+    }
+    return cfgs;
+}
+
+/** Every field of the stats sheet must match bit for bit. */
+void
+expectSameStats(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.parameters, b.parameters);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.numNodes, b.numNodes);
+    EXPECT_EQ(a.sharedBytes, b.sharedBytes);
+    EXPECT_EQ(a.execTime, b.execTime);
+    ASSERT_EQ(a.cpus.size(), b.cpus.size());
+    for (std::size_t i = 0; i < a.cpus.size(); ++i) {
+        EXPECT_EQ(a.cpus[i].refs, b.cpus[i].refs);
+        EXPECT_EQ(a.cpus[i].busy, b.cpus[i].busy);
+        EXPECT_EQ(a.cpus[i].sync, b.cpus[i].sync);
+        EXPECT_EQ(a.cpus[i].locStall, b.cpus[i].locStall);
+        EXPECT_EQ(a.cpus[i].remStall, b.cpus[i].remStall);
+        EXPECT_EQ(a.cpus[i].xlatStall, b.cpus[i].xlatStall);
+        EXPECT_EQ(a.cpus[i].finish, b.cpus[i].finish);
+    }
+    ASSERT_EQ(a.shadow.size(), b.shadow.size());
+    for (std::size_t i = 0; i < a.shadow.size(); ++i) {
+        EXPECT_EQ(a.shadow[i].demandAccesses, b.shadow[i].demandAccesses);
+        EXPECT_EQ(a.shadow[i].demandMisses, b.shadow[i].demandMisses);
+        EXPECT_EQ(a.shadow[i].writebackMisses,
+                  b.shadow[i].writebackMisses);
+    }
+    EXPECT_EQ(a.tlbAccesses, b.tlbAccesses);
+    EXPECT_EQ(a.tlbMisses, b.tlbMisses);
+    EXPECT_EQ(a.pressureProfile, b.pressureProfile);
+    EXPECT_EQ(a.flcMisses, b.flcMisses);
+    EXPECT_EQ(a.slcMisses, b.slcMisses);
+    EXPECT_EQ(a.amHits, b.amHits);
+    EXPECT_EQ(a.amMisses, b.amMisses);
+    EXPECT_EQ(a.remoteReads, b.remoteReads);
+    EXPECT_EQ(a.remoteWrites, b.remoteWrites);
+    EXPECT_EQ(a.invalidations, b.invalidations);
+    EXPECT_EQ(a.injections, b.injections);
+    EXPECT_EQ(a.pageFaults, b.pageFaults);
+    EXPECT_EQ(a.swapOuts, b.swapOuts);
+    EXPECT_EQ(a.requestMessages, b.requestMessages);
+    EXPECT_EQ(a.blockMessages, b.blockMessages);
+}
+
 struct TempDir
 {
     TempDir()
@@ -39,6 +102,34 @@ struct TempDir
     }
     ~TempDir() { std::filesystem::remove_all(path); }
     std::filesystem::path path;
+};
+
+/** Scoped setenv/unsetenv that restores the previous value. */
+struct EnvGuard
+{
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            saved_ = old;
+        else
+            wasSet_ = false;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~EnvGuard()
+    {
+        if (wasSet_)
+            ::setenv(name_, saved_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+    const char *name_;
+    std::string saved_;
+    bool wasSet_ = true;
 };
 
 } // namespace
@@ -122,6 +213,167 @@ TEST(Runner, CorruptCacheFileIsIgnored)
     Runner second(dir.path.string());
     second.run(tinyExperiment());
     EXPECT_EQ(second.executed(), 1u);
+}
+
+TEST(Runner, WrongMagicCacheFileIsRejected)
+{
+    TempDir dir;
+    Runner first(dir.path.string());
+    first.run(tinyExperiment());
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir.path)) {
+        std::ofstream out(entry.path());
+        out << "vcoma-cache-v2\nworkload UNIFORM\nend\n";
+    }
+    Runner second(dir.path.string());
+    second.run(tinyExperiment());
+    EXPECT_EQ(second.executed(), 1u) << "old-format file must re-run";
+}
+
+TEST(Runner, TruncatedCacheFileIsRejected)
+{
+    TempDir dir;
+    Runner first(dir.path.string());
+    first.run(tinyExperiment());
+    // Drop everything from the "end" marker on: a writer that died
+    // mid-write (or a torn copy) must not be served.
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir.path)) {
+        std::ifstream in(entry.path());
+        std::ostringstream kept;
+        std::string line;
+        while (std::getline(in, line) && line != "end")
+            kept << line << "\n";
+        in.close();
+        std::ofstream out(entry.path());
+        out << kept.str();
+    }
+    Runner second(dir.path.string());
+    second.run(tinyExperiment());
+    EXPECT_EQ(second.executed(), 1u) << "truncated file must re-run";
+}
+
+TEST(Runner, StoreLeavesNoTempFiles)
+{
+    TempDir dir;
+    Runner runner(dir.path.string());
+    runner.run(tinyExperiment());
+    unsigned files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir.path)) {
+        ++files;
+        EXPECT_EQ(entry.path().extension(), ".txt")
+            << entry.path() << " looks like an orphaned temp file";
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+TEST(Runner, RunAllMatchesSerialBitIdentical)
+{
+    const std::vector<ExperimentConfig> cfgs = tinyBatch();
+
+    Runner serial("");
+    std::vector<const RunStats *> expected;
+    for (const auto &cfg : cfgs)
+        expected.push_back(&serial.run(cfg));
+
+    EnvGuard env("VCOMA_JOBS", "4");
+    Runner parallel("");
+    const auto results = parallel.runAll(cfgs);
+    EXPECT_EQ(parallel.executed(), cfgs.size());
+
+    ASSERT_EQ(results.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        EXPECT_EQ(results[i]->workload,
+                  serial.run(cfgs[i]).workload)
+            << "submission order not preserved at " << i;
+        expectSameStats(*results[i], *expected[i]);
+    }
+}
+
+TEST(Runner, RunAllDedupsWithinBatch)
+{
+    std::vector<ExperimentConfig> cfgs{tinyExperiment(),
+                                       tinyExperiment(),
+                                       tinyExperiment()};
+    EnvGuard env("VCOMA_JOBS", "4");
+    Runner runner("");
+    const auto results = runner.runAll(cfgs);
+    EXPECT_EQ(runner.executed(), 1u);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0], results[1]);
+    EXPECT_EQ(results[1], results[2]);
+}
+
+TEST(Runner, RunAllPopulatesAndReadsDiskCache)
+{
+    TempDir dir;
+    const std::vector<ExperimentConfig> cfgs = tinyBatch();
+    EnvGuard env("VCOMA_JOBS", "4");
+    {
+        Runner runner(dir.path.string());
+        runner.runAll(cfgs);
+        EXPECT_EQ(runner.executed(), cfgs.size());
+    }
+    Runner again(dir.path.string());
+    const auto results = again.runAll(cfgs);
+    EXPECT_EQ(again.executed(), 0u) << "must come from disk";
+    ASSERT_EQ(results.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        EXPECT_EQ(results[i]->workload, cfgs[i].workload);
+}
+
+TEST(Runner, ConcurrentRunCallsAreSafe)
+{
+    const std::vector<ExperimentConfig> cfgs = tinyBatch();
+    Runner runner("");
+    std::vector<std::thread> threads;
+    for (const auto &cfg : cfgs)
+        threads.emplace_back([&runner, cfg] { runner.run(cfg); });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(runner.executed(), cfgs.size());
+    // Everything is memoised now; a second pass must be free.
+    for (const auto &cfg : cfgs)
+        runner.run(cfg);
+    EXPECT_EQ(runner.executed(), cfgs.size());
+}
+
+TEST(Runner, EnvScaleParsesStrictly)
+{
+    {
+        EnvGuard env("VCOMA_SCALE", "2.5");
+        EXPECT_DOUBLE_EQ(Runner::envScale(), 2.5);
+    }
+    {
+        EnvGuard env("VCOMA_SCALE", "fast");
+        EXPECT_DOUBLE_EQ(Runner::envScale(), 1.0);
+    }
+    {
+        EnvGuard env("VCOMA_SCALE", "2.5x");
+        EXPECT_DOUBLE_EQ(Runner::envScale(), 1.0);
+    }
+    {
+        EnvGuard env("VCOMA_SCALE", "-3");
+        EXPECT_DOUBLE_EQ(Runner::envScale(), 1.0);
+    }
+    {
+        EnvGuard env("VCOMA_SCALE", nullptr);
+        EXPECT_DOUBLE_EQ(Runner::envScale(), 1.0);
+    }
+}
+
+TEST(Runner, NoCacheAcceptsConventionalTruthyValues)
+{
+    EnvGuard cacheDir("VCOMA_CACHE_DIR", nullptr);
+    for (const char *truthy : {"1", "true", "YES", "on"}) {
+        EnvGuard env("VCOMA_NO_CACHE", truthy);
+        EXPECT_EQ(Runner::defaultCacheDir(), "") << truthy;
+    }
+    for (const char *falsy : {"0", "false", "no", "OFF", ""}) {
+        EnvGuard env("VCOMA_NO_CACHE", falsy);
+        EXPECT_EQ(Runner::defaultCacheDir(), ".vcoma_cache") << falsy;
+    }
 }
 
 TEST(RunStats, DerivedMetrics)

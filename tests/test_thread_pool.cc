@@ -1,0 +1,140 @@
+/** @file Tests for the worker pool behind Runner::runAll. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+/** Scoped setenv/unsetenv that restores the previous value. */
+struct EnvGuard
+{
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            saved_ = old;
+        else
+            wasSet_ = false;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~EnvGuard()
+    {
+        if (wasSet_)
+            ::setenv(name_, saved_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+    const char *name_;
+    std::string saved_;
+    bool wasSet_ = true;
+};
+
+} // namespace
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 100; ++i)
+        done.push_back(pool.submit([&count] { ++count; }));
+    for (auto &f : done)
+        f.get();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DeliversResultsThroughFutures)
+{
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, AtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    auto f = pool.submit([] { return 7; });
+    EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, DefaultThreadsHonoursVcomaJobs)
+{
+    {
+        EnvGuard env("VCOMA_JOBS", "3");
+        EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
+    }
+    const unsigned hw =
+        std::max(std::thread::hardware_concurrency(), 1u);
+    {
+        EnvGuard env("VCOMA_JOBS", nullptr);
+        EXPECT_EQ(ThreadPool::defaultThreads(), hw);
+    }
+    {
+        // 0 means "auto": one worker per hardware thread.
+        EnvGuard env("VCOMA_JOBS", "0");
+        EXPECT_EQ(ThreadPool::defaultThreads(), hw);
+    }
+    {
+        // Garbage warns and falls back to the hardware count.
+        EnvGuard env("VCOMA_JOBS", "many");
+        EXPECT_EQ(ThreadPool::defaultThreads(), hw);
+    }
+}
+
+TEST(ThreadPool, ConcurrentSubmitters)
+{
+    ThreadPool pool(4);
+    std::atomic<long> sum{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&pool, &sum] {
+            std::vector<std::future<void>> done;
+            for (int i = 1; i <= 100; ++i)
+                done.push_back(pool.submit([&sum, i] { sum += i; }));
+            for (auto &f : done)
+                f.get();
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    EXPECT_EQ(sum.load(), 4 * 5050);
+}
