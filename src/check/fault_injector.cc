@@ -1,0 +1,204 @@
+#include "check/fault_injector.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "sim/machine.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+std::string
+hexVa(VAddr va)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << va;
+    return os.str();
+}
+
+} // namespace
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::CorruptAmState: return "corrupt-am-state";
+      case FaultClass::CorruptAmVersion: return "corrupt-am-version";
+      case FaultClass::DropDirectoryEntry: return "drop-directory-entry";
+      case FaultClass::MisversionDirectory: return "misversion-directory";
+      case FaultClass::StaleTranslation: return "stale-translation";
+      case FaultClass::SkewPressure: return "skew-pressure";
+    }
+    return "?";
+}
+
+const std::vector<FaultClass> &
+allFaultClasses()
+{
+    static const std::vector<FaultClass> classes{
+        FaultClass::CorruptAmState,    FaultClass::CorruptAmVersion,
+        FaultClass::DropDirectoryEntry, FaultClass::MisversionDirectory,
+        FaultClass::StaleTranslation,  FaultClass::SkewPressure,
+    };
+    return classes;
+}
+
+FaultInjector::FaultInjector(Machine &machine, std::uint64_t seed)
+    : m_(machine), rng_(seed ^ 0xfa017u)
+{
+}
+
+std::optional<std::string>
+FaultInjector::inject(FaultClass c)
+{
+    std::optional<std::string> desc;
+    switch (c) {
+      case FaultClass::CorruptAmState: desc = corruptAmState(); break;
+      case FaultClass::CorruptAmVersion: desc = corruptAmVersion(); break;
+      case FaultClass::DropDirectoryEntry:
+        desc = dropDirectoryEntry();
+        break;
+      case FaultClass::MisversionDirectory:
+        desc = misversionDirectory();
+        break;
+      case FaultClass::StaleTranslation: desc = staleTranslation(); break;
+      case FaultClass::SkewPressure: desc = skewPressure(); break;
+    }
+    if (desc)
+        ++injected_;
+    return desc;
+}
+
+std::vector<std::pair<NodeId, std::size_t>>
+FaultInjector::validLines() const
+{
+    std::vector<std::pair<NodeId, std::size_t>> lines;
+    for (NodeId n = 0; n < m_.numNodes(); ++n) {
+        const AttractionMemory &am = m_.node(n).am;
+        for (std::size_t i = 0; i < am.numLines(); ++i) {
+            if (am.line(i).valid())
+                lines.emplace_back(n, i);
+        }
+    }
+    return lines;
+}
+
+std::vector<std::pair<PageNum, std::uint64_t>>
+FaultInjector::residentEntries() const
+{
+    std::vector<std::pair<PageNum, std::uint64_t>> entries;
+    for (const auto &[vpn, dirPage] : m_.directory().pages()) {
+        for (std::uint64_t i = 0; i < dirPage.size(); ++i) {
+            if (dirPage.entry(i).resident())
+                entries.emplace_back(vpn, i);
+        }
+    }
+    // The directory map iterates in hash order; sort so the seeded
+    // pick is stable across library implementations.
+    std::sort(entries.begin(), entries.end());
+    return entries;
+}
+
+std::optional<std::string>
+FaultInjector::corruptAmState()
+{
+    const auto lines = validLines();
+    if (lines.empty())
+        return std::nullopt;
+    const auto [node, idx] = lines[rng_.below(lines.size())];
+    AmLine &line = m_.node(node).am.line(idx);
+    const AmState before = line.state;
+    // Demoting an owner orphans the block (zero owners); promoting a
+    // Shared copy forges a second owner. Both break single-owner.
+    line.state = isOwnerState(before) ? AmState::Shared
+                                      : AmState::Exclusive;
+    return "node " + std::to_string(node) + " line (key " +
+           hexVa(line.key) + ") state " + amStateName(before) + " -> " +
+           amStateName(line.state);
+}
+
+std::optional<std::string>
+FaultInjector::corruptAmVersion()
+{
+    const auto lines = validLines();
+    if (lines.empty())
+        return std::nullopt;
+    const auto [node, idx] = lines[rng_.below(lines.size())];
+    AmLine &line = m_.node(node).am.line(idx);
+    ++line.version;
+    return "node " + std::to_string(node) + " line (key " +
+           hexVa(line.key) + ") version bumped to " +
+           std::to_string(line.version);
+}
+
+std::optional<std::string>
+FaultInjector::dropDirectoryEntry()
+{
+    const auto entries = residentEntries();
+    if (entries.empty())
+        return std::nullopt;
+    const auto [vpn, idx] = entries[rng_.below(entries.size())];
+    DirectoryEntry &e = m_.directory().entryFor(vpn, idx);
+    const std::uint64_t copyset = e.copyset;
+    e.copyset = 0;
+    e.owner = invalidNode;
+    e.exclusive = false;
+    return "directory entry " + std::to_string(idx) + " of vpn " +
+           hexVa(vpn) + " dropped (copyset was " + hexVa(copyset) + ")";
+}
+
+std::optional<std::string>
+FaultInjector::misversionDirectory()
+{
+    const auto entries = residentEntries();
+    if (entries.empty())
+        return std::nullopt;
+    const auto [vpn, idx] = entries[rng_.below(entries.size())];
+    DirectoryEntry &e = m_.directory().entryFor(vpn, idx);
+    ++e.version;
+    return "directory entry " + std::to_string(idx) + " of vpn " +
+           hexVa(vpn) + " version bumped to " + std::to_string(e.version);
+}
+
+std::optional<std::string>
+FaultInjector::staleTranslation()
+{
+    // A vpn the page table has never seen: any cached entry for it is
+    // stale by construction.
+    PageNum bogus = (PageNum{1} << 52) | rng_.below(1u << 16);
+    while (m_.pageTable().find(bogus))
+        ++bogus;
+    for (NodeId n = 0; n < m_.numNodes(); ++n) {
+        Node &node = m_.node(n);
+        if (node.dlb) {
+            node.dlb->tlb().access(bogus, StreamClass::Demand);
+            return "DLB at node " + std::to_string(n) +
+                   " seeded with unmapped vpn " + hexVa(bogus);
+        }
+        if (node.tlb) {
+            node.tlb->access(bogus, StreamClass::Demand);
+            return "TLB at node " + std::to_string(n) +
+                   " seeded with unmapped vpn " + hexVa(bogus);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+FaultInjector::skewPressure()
+{
+    PressureTracker &pressure = m_.pressure();
+    if (pressure.numSets() == 0)
+        return std::nullopt;
+    const std::uint64_t colour = rng_.below(pressure.numSets());
+    pressure.pageIn(colour);
+    return "pressure count of colour " + std::to_string(colour) +
+           " inflated to " + std::to_string(pressure.occupied(colour));
+}
+
+} // namespace vcoma

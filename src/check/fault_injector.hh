@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the coherence sanitizer.
+ * Each fault class corrupts one piece of protocol/translation state
+ * the way a real bug (or a flipped bit) would; the tests prove that
+ * the InvariantChecker detects every class. The target is chosen by
+ * a seeded Rng over a deterministic enumeration of candidates, so a
+ * given (machine state, seed) pair always corrupts the same entry.
+ */
+
+#ifndef VCOMA_CHECK_FAULT_INJECTOR_HH
+#define VCOMA_CHECK_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+class Machine;
+
+/** The kinds of corruption the injector can apply. */
+enum class FaultClass : std::uint8_t
+{
+    /** Flip a valid AM line's protocol state (owner <-> shared). */
+    CorruptAmState,
+    /** Bump a valid AM line's write version past the directory's. */
+    CorruptAmVersion,
+    /** Forget a resident block's directory entry (owner + copyset). */
+    DropDirectoryEntry,
+    /** Advance a directory entry's version past every cached copy. */
+    MisversionDirectory,
+    /** Plant a TLB/DLB entry for a page that was never mapped. */
+    StaleTranslation,
+    /** Inflate one colour's memory-pressure count. */
+    SkewPressure,
+};
+
+/** Short fault-class name for test output. */
+const char *faultClassName(FaultClass c);
+
+/** Every injectable fault class (test iteration). */
+const std::vector<FaultClass> &allFaultClasses();
+
+/** Applies one seeded fault at a time to a machine. */
+class FaultInjector
+{
+  public:
+    FaultInjector(Machine &machine, std::uint64_t seed);
+
+    /**
+     * Corrupt one deterministically chosen target of class @p c.
+     * @return a description of what was corrupted, or nullopt when
+     *         the machine holds no suitable target (e.g. no valid
+     *         lines before the first run).
+     */
+    std::optional<std::string> inject(FaultClass c);
+
+    /** Faults applied so far. */
+    unsigned injected() const { return injected_; }
+
+  private:
+    std::optional<std::string> corruptAmState();
+    std::optional<std::string> corruptAmVersion();
+    std::optional<std::string> dropDirectoryEntry();
+    std::optional<std::string> misversionDirectory();
+    std::optional<std::string> staleTranslation();
+    std::optional<std::string> skewPressure();
+
+    /** (node, line index) of every valid AM line, node order. */
+    std::vector<std::pair<NodeId, std::size_t>> validLines() const;
+    /** (vpn, entry index) of every resident directory entry. */
+    std::vector<std::pair<PageNum, std::uint64_t>>
+    residentEntries() const;
+
+    Machine &m_;
+    Rng rng_;
+    unsigned injected_ = 0;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_CHECK_FAULT_INJECTOR_HH

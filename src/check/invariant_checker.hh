@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The coherence sanitizer: a read-only walker over the directory, the
+ * attraction memories, the translation structures and the pressure
+ * accounting that verifies the paper's protocol invariants — exactly
+ * one master/owner copy per resident block, directory/AM agreement in
+ * both membership and write version, no lost last copy, translation
+ * entries only for resident pages, and per-colour pressure counts
+ * matching the page table.
+ *
+ * Enabled per-run via MachineConfig::invariantCheckInterval or the
+ * VCOMA_CHECK environment variable; the Machine then sweeps at the
+ * configured interval, after protocol transitions, and once at the
+ * end of every run. The checker never mutates simulation state, so an
+ * enabled run produces bit-identical results to a disabled one (it
+ * either passes silently or panics).
+ */
+
+#ifndef VCOMA_CHECK_INVARIANT_CHECKER_HH
+#define VCOMA_CHECK_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+class Machine;
+struct PageInfo;
+
+/** One violated invariant with enough context to debug it. */
+struct Violation
+{
+    /** Short invariant id, e.g. "single-owner". */
+    std::string invariant;
+    /** Full description: block, nodes, observed vs expected state. */
+    std::string detail;
+};
+
+/** Walks machine state and reports every violated invariant. */
+class InvariantChecker
+{
+  public:
+    explicit InvariantChecker(Machine &machine) : m_(machine) {}
+
+    /** Full sweep; returns every violation found (read-only). */
+    std::vector<Violation> checkAll() const;
+
+    /** Full sweep; panics with a summary if anything is violated. */
+    void enforce() const;
+
+    /** Sweeps performed so far. */
+    std::uint64_t sweeps() const { return sweeps_; }
+
+  private:
+    /** Directory-driven checks: ownership, membership, versions. */
+    void checkDirectory(std::vector<Violation> &out) const;
+    /** AM-driven checks: no valid line without directory backing. */
+    void checkOrphanLines(std::vector<Violation> &out) const;
+    /** Pressure counters match resident page-table entries. */
+    void checkPressure(std::vector<Violation> &out) const;
+    /** TLB/DLB entries only cache resident pages (right home). */
+    void checkTranslationResidency(std::vector<Violation> &out) const;
+
+    /** AM indexing key of @p blockVa on @p page (VA or PA schemes). */
+    VAddr amKeyOf(const PageInfo &page, VAddr blockVa) const;
+
+    Machine &m_;
+    mutable std::uint64_t sweeps_ = 0;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_CHECK_INVARIANT_CHECKER_HH

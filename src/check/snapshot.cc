@@ -1,0 +1,124 @@
+#include "check/snapshot.hh"
+
+#include <sstream>
+
+#include "coma/directory.hh"
+#include "core/vaddr_layout.hh"
+#include "vm/page_table.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+std::string
+hexVa(VAddr va)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << va;
+    return os.str();
+}
+
+std::string
+describeRef(const MemRef &ref)
+{
+    std::ostringstream os;
+    switch (ref.kind) {
+      case MemRef::Kind::Mem:
+        os << (ref.type == RefType::Read ? "R " : "W ")
+           << hexVa(ref.vaddr);
+        break;
+      case MemRef::Kind::Barrier:
+        os << "barrier " << ref.syncId;
+        break;
+      case MemRef::Kind::LockAcquire:
+        os << "lock " << ref.syncId << " acquire";
+        break;
+      case MemRef::Kind::LockRelease:
+        os << "lock " << ref.syncId << " release";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+MachineSnapshot::format() const
+{
+    std::ostringstream os;
+    os << "machine snapshot at tick " << now
+       << " (last memory reference retired at " << lastRetire << "; "
+       << live << " live, " << parked << " parked)";
+    for (const CpuDiagnostic &c : cpus) {
+        os << "\n  cpu " << c.cpu << ": readyAt=" << c.readyAt
+           << " refs=" << c.refs;
+        if (c.done)
+            os << " finished";
+        else if (c.hasLastRef)
+            os << " last=" << describeRef(c.lastRef);
+        else
+            os << " not started";
+    }
+    for (const auto &w : waiters) {
+        os << "\n  cpu " << w.cpu << " parked on "
+           << (w.kind == SyncManager::ParkedWaiter::Kind::Barrier
+                   ? "barrier "
+                   : "lock ")
+           << w.id << " since tick " << w.since;
+    }
+    for (const BlockDiagnostic &b : blocks) {
+        os << "\n  block " << hexVa(b.blockVa) << ": ";
+        if (!b.known) {
+            os << "no page-table entry";
+            continue;
+        }
+        os << "home=" << b.home;
+        if (!b.pageResident) {
+            os << " page swapped out";
+            continue;
+        }
+        os << " owner=";
+        if (b.owner == invalidNode)
+            os << "none";
+        else
+            os << b.owner;
+        os << " copyset=" << hexVa(b.copyset)
+           << " exclusive=" << (b.exclusive ? 1 : 0)
+           << " version=" << b.version;
+    }
+    return os.str();
+}
+
+BlockDiagnostic
+describeBlock(const VAddrLayout &layout, const PageTable &pageTable,
+              Directory &directory, VAddr va)
+{
+    BlockDiagnostic d;
+    d.blockVa = layout.blockAlign(va);
+    const PageInfo *page = pageTable.find(layout.vpn(va));
+    if (!page)
+        return d;
+    d.known = true;
+    d.home = page->home;
+    d.pageResident = page->resident;
+    DirectoryPage *dirPage = directory.findPage(page->vpn);
+    if (!dirPage)
+        return d;
+    const DirectoryEntry &e = dirPage->entry(layout.dirEntryIndex(va));
+    d.copyset = e.copyset;
+    d.owner = e.owner;
+    d.exclusive = e.exclusive;
+    d.version = e.version;
+    return d;
+}
+
+WatchdogError::WatchdogError(const std::string &what,
+                             MachineSnapshot snapshot)
+    : std::runtime_error(what + "\n" + snapshot.format()),
+      snap_(std::move(snapshot))
+{
+}
+
+} // namespace vcoma

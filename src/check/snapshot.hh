@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Structured diagnostic snapshots for stuck simulations. When the
+ * forward-progress watchdog trips, or the kernel detects a deadlock
+ * at end of run, the machine captures the execution state of every
+ * processor, the parked synchronisation waiters, and the directory
+ * ("protocol") entry of each block a stalled processor last touched,
+ * and renders it as a multi-line report instead of panicking bare.
+ */
+
+#ifndef VCOMA_CHECK_SNAPSHOT_HH
+#define VCOMA_CHECK_SNAPSHOT_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/memref.hh"
+#include "sim/sync.hh"
+
+namespace vcoma
+{
+
+class Directory;
+class PageTable;
+class VAddrLayout;
+
+/** Execution state of one simulated processor at snapshot time. */
+struct CpuDiagnostic
+{
+    CpuId cpu = 0;
+    Tick readyAt = 0;
+    bool done = false;
+    /** Memory references retired so far. */
+    std::uint64_t refs = 0;
+    /** Whether the processor has issued any reference yet. */
+    bool hasLastRef = false;
+    /** The last reference issued (kind, type, address or sync id). */
+    MemRef lastRef{};
+};
+
+/** Directory ("protocol") state of one block of interest. */
+struct BlockDiagnostic
+{
+    VAddr blockVa = 0;
+    /** Page-table and directory state were found for the block. */
+    bool known = false;
+    bool pageResident = false;
+    NodeId home = invalidNode;
+    std::uint64_t copyset = 0;
+    NodeId owner = invalidNode;
+    bool exclusive = false;
+    std::uint32_t version = 0;
+};
+
+/** Machine state dumped by the watchdog and deadlock paths. */
+struct MachineSnapshot
+{
+    /** Simulated time at which the snapshot was taken. */
+    Tick now = 0;
+    /** Tick of the last retired memory reference. */
+    Tick lastRetire = 0;
+    /** Processors whose programs have not finished. */
+    unsigned live = 0;
+    /** Processors parked on a barrier or lock. */
+    unsigned parked = 0;
+    std::vector<CpuDiagnostic> cpus;
+    std::vector<SyncManager::ParkedWaiter> waiters;
+    std::vector<BlockDiagnostic> blocks;
+
+    /** Render as a multi-line human-readable report. */
+    std::string format() const;
+};
+
+/** Look up the directory state of the block containing @p va. */
+BlockDiagnostic describeBlock(const VAddrLayout &layout,
+                              const PageTable &pageTable,
+                              Directory &directory, VAddr va);
+
+/**
+ * Thrown by Machine::run when the forward-progress watchdog trips:
+ * no processor retired a memory reference for the configured number
+ * of simulated cycles while sync traffic kept time advancing
+ * (livelock). what() includes the formatted snapshot.
+ */
+class WatchdogError : public std::runtime_error
+{
+  public:
+    WatchdogError(const std::string &what, MachineSnapshot snapshot);
+
+    const MachineSnapshot &snapshot() const { return snap_; }
+
+  private:
+    MachineSnapshot snap_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_CHECK_SNAPSHOT_HH

@@ -28,8 +28,12 @@ CoherenceEngine::pageFor(VAddr va, RefType type)
         type == RefType::Read ? ProtRead : ProtWrite;
     if (!(page.protection & need)) {
         ++protectionFaults;
-        throw ProtectionFault("protection fault at va " +
-                              std::to_string(va));
+        throw ProtectionFault(detail::concat(
+            "protection fault: ",
+            type == RefType::Read ? "read" : "write", " denied at va 0x",
+            std::hex, va, std::dec, " (vpn 0x", std::hex, page.vpn,
+            std::dec, ", home node ", page.home, ", protection bits ",
+            unsigned(page.protection), ")"));
     }
     page.referenced = true;
     // In the physical schemes the modify bit is maintained by the
@@ -473,6 +477,15 @@ CoherenceEngine::remoteWrite(Node &n, const BlockCtx &ctx, bool hasData,
 
 AccessResult
 CoherenceEngine::access(CpuId cpu, RefType type, VAddr va, Tick now)
+{
+    const AccessResult res = accessImpl(cpu, type, va, now);
+    if (transitionHook_ && res.servedBy == ServedBy::Remote)
+        transitionHook_();
+    return res;
+}
+
+AccessResult
+CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
 {
     Node &node = *nodes_[cpu];
     PageInfo &page = pageFor(va, type);

@@ -93,6 +93,19 @@ class CoherenceEngine
     AccessResult access(CpuId cpu, RefType type, VAddr va, Tick now);
 
     /**
+     * Hook fired after a remote protocol transaction commits (the
+     * coherence sanitizer's on-transition trigger). It runs only at
+     * the outermost access boundary: nested steps (injections,
+     * purges, preloads) leave transient states that are not
+     * meaningful to check mid-flight.
+     */
+    void
+    onTransition(std::function<void()> fn)
+    {
+        transitionHook_ = std::move(fn);
+    }
+
+    /**
      * Preload a freshly resident page: every block installed at the
      * home node in MasterShared state (data sets are preloaded,
      * Section 5.1). Untimed.
@@ -147,6 +160,9 @@ class CoherenceEngine
         VAddr slcKey = 0;       ///< full reference address, SLC space
         std::uint64_t blockIdx = 0;  ///< directory entry index
     };
+
+    /** The access body; access() wraps it to fire transitionHook_. */
+    AccessResult accessImpl(CpuId cpu, RefType type, VAddr va, Tick now);
 
     BlockCtx resolve(VAddr va);
 
@@ -216,6 +232,7 @@ class CoherenceEngine
     std::vector<std::unique_ptr<Node>> &nodes_;
     Rng rng_;
     std::function<PageNum(std::uint64_t, PageNum)> swapVictimPicker_;
+    std::function<void()> transitionHook_;
 
     /**
      * Pages with live directory references somewhere up the call

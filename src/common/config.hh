@@ -191,6 +191,24 @@ struct MachineConfig
      * paper experiments, so this only gates allocation-time checks.
      */
     double pressureThreshold = 1.0;
+    /**
+     * Coherence-sanitizer sweep interval, in retired references
+     * (protocol transitions are weighted in): the machine walks the
+     * directory, attraction memories, translation structures and
+     * pressure accounting and panics on any violated invariant.
+     * 0 disables the sanitizer; a set VCOMA_CHECK environment
+     * variable supplies the value when this field is 0.
+     */
+    std::uint64_t invariantCheckInterval = 0;
+    /**
+     * Forward-progress watchdog: Machine::run throws WatchdogError
+     * with a diagnostic snapshot when no processor retires a memory
+     * reference for this many simulated cycles while sync traffic
+     * keeps time advancing (livelock). 0 disables the watchdog; a
+     * set VCOMA_WATCHDOG environment variable supplies the value
+     * when this field is 0.
+     */
+    Cycles watchdogCycles = 0;
 
     /** Log2 of the page size. */
     unsigned pageBits() const { return exactLog2(pageBytes); }

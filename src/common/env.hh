@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Environment-variable helpers shared by the harness and the machine:
+ * boolean knobs (VCOMA_NO_CACHE, VCOMA_STRICT) and numeric-or-boolean
+ * knobs that both enable a feature and tune it (VCOMA_CHECK,
+ * VCOMA_WATCHDOG).
+ */
+
+#ifndef VCOMA_COMMON_ENV_HH
+#define VCOMA_COMMON_ENV_HH
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+/**
+ * Is the boolean-ish environment variable @p name set to a truthy
+ * value? "", "0", "false", "no" and "off" (any case) are falsy;
+ * "1", "true", "yes" and "on" are truthy; anything else warns and
+ * counts as truthy (the variable was set, so honour the intent).
+ */
+inline bool
+envTruthy(const char *name)
+{
+    const char *s = std::getenv(name);
+    if (!s)
+        return false;
+    std::string v(s);
+    for (char &c : v)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (v.empty() || v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    if (v != "1" && v != "true" && v != "yes" && v != "on")
+        warn(name, "='", s, "' is not a recognised boolean; "
+             "treating as enabled");
+    return true;
+}
+
+/**
+ * Numeric-or-boolean environment knob. Unset or falsy values yield 0
+ * (feature off); a number greater than 1 yields that number; any
+ * other truthy value ("1", "true", ...) yields @p enabledDefault.
+ * One variable can thus both switch a feature on and tune it
+ * (VCOMA_CHECK=1 vs VCOMA_CHECK=256).
+ */
+inline std::uint64_t
+envScaledFlag(const char *name, std::uint64_t enabledDefault)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end != s && *end == '\0')
+        return v > 1 ? v : (v == 1 ? enabledDefault : 0);
+    return envTruthy(name) ? enabledDefault : 0;
+}
+
+} // namespace vcoma
+
+#endif // VCOMA_COMMON_ENV_HH

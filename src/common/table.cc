@@ -23,6 +23,12 @@ Table::row(std::vector<std::string> cells)
     rows_.push_back(std::move(cells));
 }
 
+void
+Table::footnote(std::string text)
+{
+    footnotes_.push_back(std::move(text));
+}
+
 std::string
 Table::num(double v, int prec)
 {
@@ -62,6 +68,8 @@ Table::print(std::ostream &os) const
     }
     for (const auto &r : rows_)
         emit(r);
+    for (const auto &f : footnotes_)
+        os << "* " << f << "\n";
     os << "\n";
 }
 
@@ -76,6 +84,8 @@ Table::printCsv(std::ostream &os) const
         emit(header_);
     for (const auto &r : rows_)
         emit(r);
+    for (const auto &f : footnotes_)
+        os << "# * " << f << "\n";
 }
 
 } // namespace vcoma

@@ -31,6 +31,9 @@ class Table
     /** Convenience: format a double with @p prec decimals. */
     static std::string num(double v, int prec = 2);
 
+    /** Append a footnote line printed below the rows. */
+    void footnote(std::string text);
+
     /** Render as aligned plain text. */
     void print(std::ostream &os) const;
 
@@ -43,6 +46,7 @@ class Table
     std::string title_;
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> footnotes_;
 };
 
 } // namespace vcoma

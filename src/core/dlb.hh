@@ -70,6 +70,8 @@ class Dlb
     bool invalidate(PageNum vpn) { return tlb_.invalidate(vpn); }
 
     const Tlb &tlb() const { return tlb_; }
+    /** Mutable access (stats wiring, test fault injection). */
+    Tlb &tlb() { return tlb_; }
 
     Counter refBitSets;
     Counter modBitSets;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "common/logging.hh"
 #include "tlb/shadow_bank.hh"
@@ -16,6 +17,39 @@ namespace
 
 const std::vector<Scheme> allSchemes{Scheme::L0, Scheme::L1, Scheme::L2,
                                      Scheme::L3, Scheme::VCOMA};
+
+/** Cell text for a config whose simulation failed. */
+constexpr const char *failedCell = "n/a*";
+
+/**
+ * Reads one table cell's stats via Runner::tryRun. A failed config
+ * yields nullptr (the caller renders @ref failedCell) and footnotes
+ * the table once per config, so one bad simulation skips its cells
+ * instead of aborting the whole bench binary.
+ */
+class CellReader
+{
+  public:
+    CellReader(Runner &runner, Table &table)
+        : runner_(runner), table_(table)
+    {
+    }
+
+    const RunStats *
+    operator()(const ExperimentConfig &cfg)
+    {
+        const RunStats *stats = runner_.tryRun(cfg);
+        if (!stats && noted_.insert(cfg.key()).second)
+            table_.footnote("n/a: config " + cfg.key() +
+                            " failed to simulate");
+        return stats;
+    }
+
+  private:
+    Runner &runner_;
+    Table &table_;
+    std::set<std::string> noted_;
+};
 
 ExperimentConfig
 missStudyConfig(const std::string &workload, Scheme scheme, double scale)
@@ -208,19 +242,23 @@ figure8MissCurves(Runner &runner, double scale)
                 "): translation misses per node vs TLB/DLB size");
         t.header({"size", "L0-TLB", "L1-TLB", "L2-TLB", "L2/no_wback",
                   "L3-TLB", "V-COMA"});
+        CellReader cell(runner, t);
         std::vector<const RunStats *> runs;
         for (Scheme s : allSchemes)
-            runs.push_back(&runner.run(missStudyConfig(name, s, scale)));
+            runs.push_back(cell(missStudyConfig(name, s, scale)));
         for (unsigned size : shadowSizes()) {
             std::vector<std::string> row{std::to_string(size)};
             for (std::size_t i = 0; i < allSchemes.size(); ++i) {
                 const Scheme s = allSchemes[i];
                 const bool wb = schemeCountsWritebacks(s);
-                row.push_back(Table::num(
-                    runs[i]->missesPerNode(size, 0, wb), 0));
+                row.push_back(runs[i] ? Table::num(runs[i]->missesPerNode(
+                                            size, 0, wb), 0)
+                                      : failedCell);
                 if (s == Scheme::L2) {
-                    row.push_back(Table::num(
-                        runs[i]->missesPerNode(size, 0, false), 0));
+                    row.push_back(runs[i]
+                                      ? Table::num(runs[i]->missesPerNode(
+                                            size, 0, false), 0)
+                                      : failedCell);
                 }
             }
             t.row(std::move(row));
@@ -243,16 +281,19 @@ table2MissRates(Runner &runner, double scale)
         }
     }
     t.header(header);
+    CellReader cell(runner, t);
     for (const auto &name : paperBenchmarks()) {
         std::vector<std::string> row{name};
         for (unsigned size : {8u, 32u, 128u}) {
             for (Scheme s : allSchemes) {
-                const RunStats &stats =
-                    runner.run(missStudyConfig(name, s, scale));
-                row.push_back(Table::num(
-                    stats.missRatePct(size, 0,
-                                      schemeCountsWritebacks(s)),
-                    s == Scheme::VCOMA ? 4 : 2));
+                const RunStats *stats =
+                    cell(missStudyConfig(name, s, scale));
+                row.push_back(
+                    stats ? Table::num(stats->missRatePct(
+                                           size, 0,
+                                           schemeCountsWritebacks(s)),
+                                       s == Scheme::VCOMA ? 4 : 2)
+                          : failedCell);
             }
         }
         t.row(std::move(row));
@@ -306,16 +347,27 @@ table3EquivalentSize(Runner &runner, double scale)
     Table t("Table 3: TLB size equivalent to an 8-entry DLB");
     t.header({"Benchmark", "L0-TLB", "L1-TLB", "L2-TLB", "L3-TLB",
               "DLB/8 misses/node"});
+    CellReader cell(runner, t);
     for (const auto &name : paperBenchmarks()) {
-        const RunStats &vcoma =
-            runner.run(missStudyConfig(name, Scheme::VCOMA, scale));
-        const double target = vcoma.missesPerNode(8, 0, true);
+        const RunStats *vcoma =
+            cell(missStudyConfig(name, Scheme::VCOMA, scale));
         std::vector<std::string> row{name};
+        if (!vcoma) {
+            // Without the DLB baseline there is no target to match.
+            row.insert(row.end(), 5, failedCell);
+            t.row(std::move(row));
+            continue;
+        }
+        const double target = vcoma->missesPerNode(8, 0, true);
         for (Scheme s : {Scheme::L0, Scheme::L1, Scheme::L2, Scheme::L3}) {
-            const RunStats &stats =
-                runner.run(missStudyConfig(name, s, scale));
+            const RunStats *stats =
+                cell(missStudyConfig(name, s, scale));
+            if (!stats) {
+                row.push_back(failedCell);
+                continue;
+            }
             const double eq = equivalentSize(
-                stats, schemeCountsWritebacks(s), target);
+                *stats, schemeCountsWritebacks(s), target);
             // ">512" means even the largest swept TLB cannot match
             // the shared DLB: with scaled-down data sets the DLB's
             // cold floor (one fill per page machine-wide, thanks to
@@ -343,17 +395,20 @@ figure9DirectMapped(Runner &runner, double scale)
             header.push_back(schemeName(s));
         }
         t.header(header);
+        CellReader cell(runner, t);
         std::vector<const RunStats *> runs;
         for (Scheme s : allSchemes)
-            runs.push_back(&runner.run(missStudyConfig(name, s, scale)));
+            runs.push_back(cell(missStudyConfig(name, s, scale)));
         for (unsigned size : shadowSizes()) {
             std::vector<std::string> row{std::to_string(size)};
             for (std::size_t i = 0; i < allSchemes.size(); ++i) {
                 const bool wb = schemeCountsWritebacks(allSchemes[i]);
-                row.push_back(Table::num(
-                    runs[i]->missesPerNode(size, 1, wb), 0));
-                row.push_back(Table::num(
-                    runs[i]->missesPerNode(size, 0, wb), 0));
+                row.push_back(runs[i] ? Table::num(runs[i]->missesPerNode(
+                                            size, 1, wb), 0)
+                                      : failedCell);
+                row.push_back(runs[i] ? Table::num(runs[i]->missesPerNode(
+                                            size, 0, wb), 0)
+                                      : failedCell);
             }
             t.row(std::move(row));
         }
@@ -383,12 +438,15 @@ table4StallShare(Runner &runner, double scale)
         {"L0-TLB/16", Scheme::L0, 16},
         {"DLB/16", Scheme::VCOMA, 16},
     };
+    CellReader cell(runner, t);
     for (const Row &r : rows) {
         std::vector<std::string> row{r.label};
         for (const auto &name : paperBenchmarks()) {
-            const RunStats &stats = runner.run(
+            const RunStats *stats = cell(
                 timedConfig(name, r.scheme, r.entries, 0, scale));
-            row.push_back(Table::num(stats.xlatOverTotalStallPct(), 2));
+            row.push_back(
+                stats ? Table::num(stats->xlatOverTotalStallPct(), 2)
+                      : failedCell);
         }
         t.row(std::move(row));
     }
@@ -428,6 +486,7 @@ figure10ExecTime(Runner &runner, double scale)
             name == "RAYTRACE" ? std::vector<std::uint64_t>{1, 2, 3}
                                : std::vector<std::uint64_t>{1};
 
+        CellReader cell(runner, t);
         double baseTotal = 0;
         for (const auto &v : variants) {
             double busy = 0;
@@ -435,16 +494,28 @@ figure10ExecTime(Runner &runner, double scale)
             double loc = 0;
             double rem = 0;
             double xlat = 0;
+            bool failed = false;
             for (std::uint64_t seed : seeds) {
                 ExperimentConfig cfg = timedConfig(
                     name, v.scheme, 8, v.assoc, scale, v.v2);
                 cfg.seed = seed;
-                const RunStats &stats = runner.run(cfg);
-                busy += static_cast<double>(stats.totalBusy());
-                sync += static_cast<double>(stats.totalSync());
-                loc += static_cast<double>(stats.totalLocStall());
-                rem += static_cast<double>(stats.totalRemStall());
-                xlat += static_cast<double>(stats.totalXlatStall());
+                const RunStats *stats = cell(cfg);
+                if (!stats) {
+                    // One bad seed poisons the average; drop the
+                    // whole variant row rather than skew it.
+                    failed = true;
+                    break;
+                }
+                busy += static_cast<double>(stats->totalBusy());
+                sync += static_cast<double>(stats->totalSync());
+                loc += static_cast<double>(stats->totalLocStall());
+                rem += static_cast<double>(stats->totalRemStall());
+                xlat += static_cast<double>(stats->totalXlatStall());
+            }
+            if (failed) {
+                t.row({v.label, failedCell, failedCell, failedCell,
+                       failedCell, failedCell, failedCell});
+                continue;
             }
             const double n = static_cast<double>(seeds.size());
             busy /= n;
@@ -472,12 +543,20 @@ figure11Pressure(Runner &runner, double scale)
     runner.runAll(missStudyVcomaConfigs(scale));
     std::vector<Table> tables;
     for (const auto &name : paperBenchmarks()) {
-        const RunStats &stats =
-            runner.run(missStudyConfig(name, Scheme::VCOMA, scale));
         Table t("Figure 11 (" + name +
                 "): pressure profile over global page sets");
         t.header({"set group", "mean pressure", "max pressure"});
-        const auto &profile = stats.pressureProfile;
+        CellReader cell(runner, t);
+        const RunStats *stats =
+            cell(missStudyConfig(name, Scheme::VCOMA, scale));
+        if (!stats || stats->pressureProfile.empty()) {
+            if (stats)
+                t.footnote("n/a: run produced no pressure profile");
+            t.row({"ALL", failedCell, failedCell});
+            tables.push_back(std::move(t));
+            continue;
+        }
+        const auto &profile = stats->pressureProfile;
         const std::size_t groups = 16;
         const std::size_t per =
             std::max<std::size_t>(1, profile.size() / groups);
@@ -530,18 +609,25 @@ injectionBehaviour(Runner &runner, double scale)
     Table t("Ablation: injection behaviour under V-COMA");
     t.header({"Benchmark", "injections", "hops", "hops/injection",
               "shared drops", "swap-outs"});
+    CellReader cell(runner, t);
     for (const auto &name : paperBenchmarks()) {
-        const RunStats &stats =
-            runner.run(missStudyConfig(name, Scheme::VCOMA, scale));
+        const RunStats *stats =
+            cell(missStudyConfig(name, Scheme::VCOMA, scale));
+        if (!stats) {
+            t.row({name, failedCell, failedCell, failedCell, failedCell,
+                   failedCell});
+            continue;
+        }
         const double perInj =
-            stats.injections
-                ? static_cast<double>(stats.injectionHops) /
-                      stats.injections
+            stats->injections
+                ? static_cast<double>(stats->injectionHops) /
+                      stats->injections
                 : 0.0;
-        t.row({name, std::to_string(stats.injections),
-               std::to_string(stats.injectionHops),
-               Table::num(perInj, 2), std::to_string(stats.sharedDrops),
-               std::to_string(stats.swapOuts)});
+        t.row({name, std::to_string(stats->injections),
+               std::to_string(stats->injectionHops),
+               Table::num(perInj, 2),
+               std::to_string(stats->sharedDrops),
+               std::to_string(stats->swapOuts)});
     }
     return t;
 }
@@ -552,18 +638,21 @@ dlbScaling(Runner &runner, double scale)
     runner.runAll(dlbScalingConfigs(scale));
     Table t("Ablation: DLB sharing effect vs machine size (RADIX)");
     t.header({"nodes", "DLB/8 miss rate (%)", "L3-TLB/8 miss rate (%)"});
+    CellReader cell(runner, t);
     for (unsigned nodes : {8u, 16u, 32u, 64u}) {
         ExperimentConfig base = missStudyConfig("RADIX", Scheme::VCOMA,
                                                 scale);
         base.nodes = nodes;
-        const RunStats &vcoma = runner.run(base);
+        const RunStats *vcoma = cell(base);
         ExperimentConfig l3 = missStudyConfig("RADIX", Scheme::L3,
                                               scale);
         l3.nodes = nodes;
-        const RunStats &l3Stats = runner.run(l3);
+        const RunStats *l3Stats = cell(l3);
         t.row({std::to_string(nodes),
-               Table::num(vcoma.missRatePct(8, 0, true), 4),
-               Table::num(l3Stats.missRatePct(8, 0, true), 4)});
+               vcoma ? Table::num(vcoma->missRatePct(8, 0, true), 4)
+                     : failedCell,
+               l3Stats ? Table::num(l3Stats->missRatePct(8, 0, true), 4)
+                       : failedCell});
     }
     return t;
 }
@@ -583,29 +672,36 @@ softwareManagedTranslation(Runner &runner, double scale)
     t.header({"Benchmark", "traps per 1k refs",
               "SW xlat cycles/ref", "HW/8 xlat cycles/ref",
               "SW exec / HW-32 exec"});
+    CellReader cell(runner, t);
     for (const auto &name : paperBenchmarks()) {
         ExperimentConfig sw =
             timedConfig(name, Scheme::L2, 0, 0, scale);
         sw.xlatPenalty = softwareTrap;
-        const RunStats &swStats = runner.run(sw);
-        const RunStats &hw8 =
-            runner.run(timedConfig(name, Scheme::L2, 8, 0, scale));
-        const RunStats &hw32 =
-            runner.run(timedConfig(name, Scheme::L2, 32, 0, scale));
+        const RunStats *swStats = cell(sw);
+        const RunStats *hw8 =
+            cell(timedConfig(name, Scheme::L2, 8, 0, scale));
+        const RunStats *hw32 =
+            cell(timedConfig(name, Scheme::L2, 32, 0, scale));
+        if (!swStats || !hw8 || !hw32) {
+            // Every column mixes the three runs; none survive alone.
+            t.row({name, failedCell, failedCell, failedCell,
+                   failedCell});
+            continue;
+        }
 
         const double traps =
-            1000.0 * static_cast<double>(swStats.tlbMisses) /
-            swStats.totalRefs();
+            1000.0 * static_cast<double>(swStats->tlbMisses) /
+            swStats->totalRefs();
         const double swPerRef =
-            static_cast<double>(swStats.totalXlatStall()) /
-            swStats.totalRefs();
+            static_cast<double>(swStats->totalXlatStall()) /
+            swStats->totalRefs();
         const double hwPerRef =
-            static_cast<double>(hw8.totalXlatStall()) /
-            hw8.totalRefs();
+            static_cast<double>(hw8->totalXlatStall()) /
+            hw8->totalRefs();
         t.row({name, Table::num(traps, 1), Table::num(swPerRef, 2),
                Table::num(hwPerRef, 2),
-               Table::num(static_cast<double>(swStats.execTime) /
-                              hw32.execTime,
+               Table::num(static_cast<double>(swStats->execTime) /
+                              hw32->execTime,
                           3)});
     }
     return t;
@@ -619,19 +715,25 @@ amAssociativity(Runner &runner, double scale)
             "(RAYTRACE)");
     t.header({"assoc", "global-set capacity", "exec time", "injections",
               "shared drops", "max pressure"});
+    CellReader cell(runner, t);
     for (unsigned assoc : {1u, 2u, 4u, 8u}) {
         ExperimentConfig cfg =
             timedConfig("RAYTRACE", Scheme::VCOMA, 8, 0, scale);
         cfg.amAssoc = assoc;
-        const RunStats &stats = runner.run(cfg);
+        const RunStats *stats = cell(cfg);
+        if (!stats) {
+            t.row({std::to_string(assoc), std::to_string(32 * assoc),
+                   failedCell, failedCell, failedCell, failedCell});
+            continue;
+        }
         double maxPressure = 0;
-        for (double v : stats.pressureProfile)
+        for (double v : stats->pressureProfile)
             maxPressure = std::max(maxPressure, v);
         t.row({std::to_string(assoc),
                std::to_string(32 * assoc),
-               std::to_string(stats.execTime),
-               std::to_string(stats.injections),
-               std::to_string(stats.sharedDrops),
+               std::to_string(stats->execTime),
+               std::to_string(stats->injections),
+               std::to_string(stats->sharedDrops),
                Table::num(maxPressure, 4)});
     }
     return t;
@@ -644,15 +746,17 @@ translationCostSensitivity(Runner &runner, double scale)
     Table t("Ablation: sensitivity to the translation-miss service "
             "time (RADIX exec time, millions of cycles)");
     t.header({"miss service (cycles)", "L0-TLB/8", "V-COMA DLB/8"});
+    CellReader cell(runner, t);
     for (Cycles penalty : {20u, 40u, 80u, 160u}) {
         std::vector<std::string> row{std::to_string(penalty)};
         for (Scheme s : {Scheme::L0, Scheme::VCOMA}) {
             ExperimentConfig cfg =
                 timedConfig("RADIX", s, 8, 0, scale);
             cfg.xlatPenalty = penalty;
-            const RunStats &stats = runner.run(cfg);
-            row.push_back(Table::num(
-                static_cast<double>(stats.execTime) / 1e6, 2));
+            const RunStats *stats = cell(cfg);
+            row.push_back(stats ? Table::num(static_cast<double>(
+                                      stats->execTime) / 1e6, 2)
+                                : failedCell);
         }
         t.row(std::move(row));
     }
@@ -667,23 +771,32 @@ layoutPressure(Runner &runner, double scale)
             "sets (V-COMA)");
     t.header({"layout", "mean pressure", "max pressure", "max/mean",
               "swap-outs"});
+    CellReader cell(runner, t);
     for (const char *name : {"UNIFORM", "HOTSPOT"}) {
         ExperimentConfig cfg;
         cfg.workload = name;
         cfg.scheme = Scheme::VCOMA;
         cfg.scale = scale;
         cfg.timedTranslation = false;
-        const RunStats &stats = runner.run(cfg);
+        const RunStats *stats = cell(cfg);
+        if (!stats || stats->pressureProfile.empty()) {
+            if (stats)
+                t.footnote("n/a: run produced no pressure profile");
+            t.row({name, failedCell, failedCell, failedCell,
+                   failedCell});
+            continue;
+        }
         double sum = 0;
         double mx = 0;
-        for (double v : stats.pressureProfile) {
+        for (double v : stats->pressureProfile) {
             sum += v;
             mx = std::max(mx, v);
         }
-        const double mean = sum / stats.pressureProfile.size();
+        const double mean =
+            sum / static_cast<double>(stats->pressureProfile.size());
         t.row({name, Table::num(mean, 4), Table::num(mx, 4),
                Table::num(mean > 0 ? mx / mean : 0, 1),
-               std::to_string(stats.swapOuts)});
+               std::to_string(stats->swapOuts)});
     }
     return t;
 }

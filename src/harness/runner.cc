@@ -2,15 +2,17 @@
 
 #include <unistd.h>
 
-#include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sim/machine.hh"
@@ -24,30 +26,6 @@ namespace
 {
 
 constexpr const char *cacheMagic = "vcoma-cache-v3";
-
-/**
- * Is the boolean-ish environment variable @p name set to a truthy
- * value? "", "0", "false", "no" and "off" (any case) are falsy;
- * "1", "true", "yes" and "on" are truthy; anything else warns and
- * counts as truthy (the variable was set, so honour the intent).
- */
-bool
-envTruthy(const char *name)
-{
-    const char *s = std::getenv(name);
-    if (!s)
-        return false;
-    std::string v(s);
-    for (char &c : v)
-        c = static_cast<char>(
-            std::tolower(static_cast<unsigned char>(c)));
-    if (v.empty() || v == "0" || v == "false" || v == "no" || v == "off")
-        return false;
-    if (v != "1" && v != "true" && v != "yes" && v != "on")
-        warn(name, "='", s, "' is not a recognised boolean; "
-             "treating as enabled");
-    return true;
-}
 
 } // namespace
 
@@ -110,35 +88,79 @@ Runner::envJobs()
 const RunStats &
 Runner::run(const ExperimentConfig &cfg)
 {
+    if (const RunStats *stats = tryRun(cfg))
+        return *stats;
+    std::lock_guard<std::mutex> lock(mutex_);
+    throw SimulationError(failed_.at(cfg.key()).error);
+}
+
+const RunStats *
+Runner::tryRun(const ExperimentConfig &cfg)
+{
     const std::string key = cfg.key();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = memo_.find(key);
         if (it != memo_.end())
-            return it->second;
+            return &it->second;
+        if (failed_.count(key))
+            return nullptr;
     }
 
     RunStats stats;
     const std::string path = cachePath(cfg);
     if (path.empty() || !load(path, stats)) {
-        stats = execute(cfg);
+        try {
+            stats = execute(cfg);
+        } catch (const std::exception &e) {
+            recordFailure(cfg, key, e.what());
+            return nullptr;
+        }
         if (!path.empty())
             store(path, stats);
     }
     std::lock_guard<std::mutex> lock(mutex_);
-    return memo_.emplace(key, std::move(stats)).first->second;
+    return &memo_.emplace(key, std::move(stats)).first->second;
 }
 
 void
 Runner::executeAndMemoise(const ExperimentConfig &cfg,
                           const std::string &key)
 {
-    RunStats stats = execute(cfg);
+    RunStats stats;
+    try {
+        stats = execute(cfg);
+    } catch (const std::exception &e) {
+        recordFailure(cfg, key, e.what());
+        if (envTruthy("VCOMA_STRICT"))
+            throw;
+        return;
+    }
     const std::string path = cachePath(cfg);
     if (!path.empty())
         store(path, stats);
     std::lock_guard<std::mutex> lock(mutex_);
     memo_.emplace(key, std::move(stats));
+}
+
+void
+Runner::recordFailure(const ExperimentConfig &cfg, const std::string &key,
+                      const std::string &error)
+{
+    warn("config ", key, " failed: ", error);
+    std::lock_guard<std::mutex> lock(mutex_);
+    failed_.emplace(key, FailedRun{cfg, key, error});
+}
+
+std::vector<FailedRun>
+Runner::failures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<FailedRun> out;
+    out.reserve(failed_.size());
+    for (const auto &[key, f] : failed_)
+        out.push_back(f);
+    return out;
 }
 
 std::vector<const RunStats *>
@@ -157,7 +179,8 @@ Runner::runAll(std::span<const ExperimentConfig> cfgs)
         std::lock_guard<std::mutex> lock(mutex_);
         std::unordered_set<std::string> scheduled;
         for (std::size_t i = 0; i < cfgs.size(); ++i) {
-            if (memo_.count(keys[i]) || scheduled.count(keys[i]))
+            if (memo_.count(keys[i]) || failed_.count(keys[i]) ||
+                scheduled.count(keys[i]))
                 continue;
             RunStats stats;
             const std::string path = cachePath(cfgs[i]);
@@ -182,9 +205,9 @@ Runner::runAll(std::span<const ExperimentConfig> cfgs)
                 executeAndMemoise(cfg, key);
             }));
         }
-        // Collect in submission order so any exception surfaces
-        // deterministically (the pool's destructor still drains the
-        // queue if one does).
+        // Collect in submission order. Failures are recorded inside
+        // the job, so get() only rethrows under $VCOMA_STRICT; the
+        // pool's destructor still drains the queue if one does.
         for (auto &f : done)
             f.get();
     } else {
@@ -195,8 +218,10 @@ Runner::runAll(std::span<const ExperimentConfig> cfgs)
     std::vector<const RunStats *> results;
     results.reserve(cfgs.size());
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto &key : keys)
-        results.push_back(&memo_.at(key));
+    for (const auto &key : keys) {
+        auto it = memo_.find(key);
+        results.push_back(it != memo_.end() ? &it->second : nullptr);
+    }
     return results;
 }
 
@@ -219,9 +244,18 @@ Runner::execute(const ExperimentConfig &cfg)
     wp.seed = cfg.seed;
     wp.raytraceV2Layout = cfg.raytraceV2;
 
-    Machine machine(mc);
-    auto workload = makeWorkload(cfg.workload, wp);
-    return machine.run(*workload);
+    try {
+        Machine machine(mc);
+        auto workload = makeWorkload(cfg.workload, wp);
+        return machine.run(*workload);
+    } catch (const SimulationError &) {
+        throw;
+    } catch (const std::exception &e) {
+        throw SimulationError(detail::concat(
+            "simulation of workload ", cfg.workload, " under ",
+            schemeName(cfg.scheme), " (config ", cfg.key(),
+            ") failed: ", e.what()));
+    }
 }
 
 std::string
@@ -304,6 +338,26 @@ Runner::load(const std::string &path, RunStats &stats) const
 void
 Runner::store(const std::string &path, const RunStats &stats) const
 {
+    // The cache is an optimisation, so failing to write it is never
+    // fatal; but transient filesystem trouble (a concurrently pruned
+    // cache directory, a momentary ENOSPC) deserves a couple of
+    // retries with a short backoff before we give up.
+    std::string error;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        if (attempt != 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10 << (attempt - 1)));
+        if (storeOnce(path, stats, error))
+            return;
+    }
+    warn("cannot write cache file '", path, "' after 3 attempts: ",
+         error);
+}
+
+bool
+Runner::storeOnce(const std::string &path, const RunStats &stats,
+                  std::string &error) const
+{
     // Stage into a temp name unique across processes (pid) and across
     // threads within one process (a shared counter), then publish with
     // an atomic rename: concurrent writers of the same key each
@@ -314,8 +368,8 @@ Runner::store(const std::string &path, const RunStats &stats) const
     const std::string tmp = tmpName.str();
     std::ofstream out(tmp);
     if (!out) {
-        warn("cannot create cache file '", tmp, "'");
-        return;
+        error = "cannot create '" + tmp + "'";
+        return false;
     }
     out << cacheMagic << "\n";
     out << "workload " << stats.workload << "\n";
@@ -356,15 +410,17 @@ Runner::store(const std::string &path, const RunStats &stats) const
     out.close();
     std::error_code ec;
     if (!out) {
-        warn("short write to cache file '", tmp, "': discarding");
+        error = "short write to '" + tmp + "'";
         std::filesystem::remove(tmp, ec);
-        return;
+        return false;
     }
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
-        warn("cannot publish cache file '", path, "': ", ec.message());
+        error = "cannot publish: " + ec.message();
         std::filesystem::remove(tmp, ec);
+        return false;
     }
+    return true;
 }
 
 const std::vector<std::string> &

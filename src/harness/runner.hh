@@ -18,6 +18,7 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,18 @@
 
 namespace vcoma
 {
+
+/**
+ * Thrown when a simulation fails: wraps whatever escaped the machine
+ * (a ProtectionFault, PanicError, FatalError, WatchdogError, ...)
+ * with the workload, scheme and config key so sweep failure reports
+ * are actionable.
+ */
+class SimulationError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Everything that identifies one simulation run. */
 struct ExperimentConfig
@@ -53,6 +66,16 @@ struct ExperimentConfig
     std::string key() const;
 };
 
+/** Record of one config that failed to simulate (graceful sweeps). */
+struct FailedRun
+{
+    ExperimentConfig config;
+    /** The config's cache key (its "hash"). */
+    std::string key;
+    /** Exception text, with workload/scheme/config context. */
+    std::string error;
+};
+
 /**
  * Runs experiments with in-memory + on-disk caching.
  *
@@ -74,17 +97,36 @@ class Runner
      */
     explicit Runner(std::string cacheDir = defaultCacheDir());
 
-    /** Run (or recall) the experiment. */
+    /**
+     * Run (or recall) the experiment. Throws SimulationError if the
+     * simulation fails (including a failure recorded by an earlier
+     * run/tryRun/runAll of the same config; those do not re-execute).
+     */
     const RunStats &run(const ExperimentConfig &cfg);
+
+    /**
+     * Like run(), but returns nullptr instead of throwing when the
+     * simulation fails; the failure is recorded in failures().
+     */
+    const RunStats *tryRun(const ExperimentConfig &cfg);
 
     /**
      * Run a batch: configs not already memoised or on disk execute
      * concurrently on up to min($VCOMA_JOBS, batch) worker threads;
      * duplicates within the batch run once. Results come back in
      * submission order and are bit-identical to serial execution.
+     *
+     * A config whose simulation fails does not abort the sweep: its
+     * slot comes back as nullptr, the failure is recorded in
+     * failures(), and every other config still runs. Set
+     * $VCOMA_STRICT=1 to restore fail-fast (the first failure is
+     * rethrown once the pool drains).
      */
     std::vector<const RunStats *>
     runAll(std::span<const ExperimentConfig> cfgs);
+
+    /** Every failed config recorded so far, in key order. */
+    std::vector<FailedRun> failures() const;
 
     /** Problem scale from $VCOMA_SCALE (default 1.0). */
     static double envScale();
@@ -103,13 +145,18 @@ class Runner
     std::string cachePath(const ExperimentConfig &cfg) const;
     bool load(const std::string &path, RunStats &stats) const;
     void store(const std::string &path, const RunStats &stats) const;
+    bool storeOnce(const std::string &path, const RunStats &stats,
+                   std::string &error) const;
     /** Execute, store to disk, and memoise one cache-missing config. */
     void executeAndMemoise(const ExperimentConfig &cfg,
                            const std::string &key);
+    void recordFailure(const ExperimentConfig &cfg,
+                       const std::string &key, const std::string &error);
 
     std::string cacheDir_;
-    mutable std::mutex mutex_; ///< guards memo_
+    mutable std::mutex mutex_; ///< guards memo_ and failed_
     std::map<std::string, RunStats> memo_;
+    std::map<std::string, FailedRun> failed_;
     std::atomic<unsigned> executed_{0};
 };
 

@@ -22,6 +22,14 @@ Network::transferTime(MsgSize size) const
 Tick
 Network::send(NodeId src, NodeId dst, MsgSize size, Tick t)
 {
+    // Validate up front: indexing the port vectors with a bad id
+    // would otherwise surface as a context-free std::out_of_range.
+    const std::size_t numNodes = outPorts_.size();
+    if (src >= numNodes || dst >= numNodes) {
+        panic("misrouted message from node ", src, " to node ", dst,
+              " in a ", numNodes, "-node machine");
+    }
+
     if (size == MsgSize::Request)
         ++requestMessages;
     else
@@ -38,8 +46,8 @@ Network::send(NodeId src, NodeId dst, MsgSize size, Tick t)
     // The sender's output port streams the message; the receiver's
     // input port drains it. On an otherwise idle path the message
     // arrives after one transfer time.
-    const Tick start = outPorts_.at(src).acquire(t, time);
-    const Tick arrive = inPorts_.at(dst).acquire(start + time, 0);
+    const Tick start = outPorts_[src].acquire(t, time);
+    const Tick arrive = inPorts_[dst].acquire(start + time, 0);
     queueing.sample(static_cast<double>(arrive - t - time));
     return arrive;
 }

@@ -1,10 +1,14 @@
 #include "sim/machine.hh"
 
+#include <algorithm>
 #include <ostream>
 #include <queue>
 
 #include "common/stats.hh"
 
+#include "check/invariant_checker.hh"
+#include "check/snapshot.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "sim/sync.hh"
 #include "translation/system_builder.hh"
@@ -47,6 +51,39 @@ Machine::Machine(const MachineConfig &cfg)
     engine_.onSwapNeeded([this](std::uint64_t colour, PageNum protect) {
         return pickSwapVictim(colour, protect);
     });
+
+    // Robustness knobs: the config wins; otherwise VCOMA_CHECK /
+    // VCOMA_WATCHDOG enable the feature (a bare truthy value picks
+    // the default, a number > 1 tunes it). Both default to off so
+    // unchecked runs stay byte-identical.
+    constexpr std::uint64_t defaultCheckInterval = 4096;
+    constexpr Cycles defaultWatchdogCycles = 50'000'000;
+    checkInterval_ = cfg_.invariantCheckInterval
+                         ? cfg_.invariantCheckInterval
+                         : envScaledFlag("VCOMA_CHECK",
+                                         defaultCheckInterval);
+    watchdogCycles_ = cfg_.watchdogCycles
+                          ? cfg_.watchdogCycles
+                          : envScaledFlag("VCOMA_WATCHDOG",
+                                          defaultWatchdogCycles);
+    if (checkInterval_ != 0) {
+        checker_ = std::make_unique<InvariantChecker>(*this);
+        // Protocol transitions are where invariants break, so they
+        // weigh much more than plain references in the sweep budget.
+        engine_.onTransition([this] { creditInvariantSweep(64); });
+    }
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::creditInvariantSweep(std::uint64_t weight)
+{
+    checkCredit_ += weight;
+    if (checkCredit_ < checkInterval_)
+        return;
+    checkCredit_ = 0;
+    checker_->enforce();
 }
 
 PageNum
@@ -89,6 +126,9 @@ Machine::run(Workload &workload)
         Tick readyAt = 0;
         bool done = false;
         CpuStats stats;
+        /** Last event issued, for diagnostic snapshots. */
+        MemRef lastRef{};
+        bool hasRef = false;
     };
 
     std::vector<Proc> procs(numCpus);
@@ -96,6 +136,52 @@ Machine::run(Workload &workload)
         procs[i].program = workload.thread(i);
 
     SyncManager sync(numCpus, cfg_.timing);
+
+    // Forward-progress accounting for the watchdog and the deadlock
+    // report: the tick of the last retired memory reference.
+    Tick lastRetire = 0;
+
+    auto snapshot = [&](Tick now) {
+        MachineSnapshot snap;
+        snap.now = now;
+        snap.lastRetire = lastRetire;
+        snap.parked = sync.parked();
+        for (unsigned i = 0; i < numCpus; ++i) {
+            const Proc &p = procs[i];
+            if (!p.done)
+                ++snap.live;
+            CpuDiagnostic d;
+            d.cpu = i;
+            d.readyAt = p.readyAt;
+            d.done = p.done;
+            d.refs = p.stats.refs;
+            d.hasLastRef = p.hasRef;
+            d.lastRef = p.lastRef;
+            snap.cpus.push_back(d);
+        }
+        snap.waiters = sync.parkedWaiters();
+        // The directory ("protocol") entry of each distinct block a
+        // stalled processor last touched: the stuck block(s) of a
+        // livelocked machine.
+        std::vector<VAddr> seen;
+        for (const Proc &p : procs) {
+            if (p.done || !p.hasRef ||
+                p.lastRef.kind != MemRef::Kind::Mem) {
+                continue;
+            }
+            const VAddr blockVa = layout_.blockAlign(p.lastRef.vaddr);
+            if (std::find(seen.begin(), seen.end(), blockVa) !=
+                seen.end()) {
+                continue;
+            }
+            seen.push_back(blockVa);
+            snap.blocks.push_back(describeBlock(layout_, pageTable_,
+                                                directory_, blockVa));
+            if (snap.blocks.size() >= 8)
+                break;
+        }
+        return snap;
+    };
 
     // Min-heap ordered by (readyAt, cpu) for determinism.
     using Entry = std::pair<Tick, CpuId>;
@@ -114,6 +200,14 @@ Machine::run(Workload &workload)
     while (!ready.empty()) {
         const auto [when, cpu] = ready.top();
         ready.pop();
+
+        if (watchdogCycles_ != 0 && when > lastRetire + watchdogCycles_) {
+            throw WatchdogError(
+                detail::concat("watchdog: no memory reference retired "
+                               "in the last ",
+                               when - lastRetire, " cycles"),
+                snapshot(when));
+        }
 
         if (when >= nextDecay) {
             // Catch up over a long busy gap in O(1): no reference bit
@@ -138,6 +232,8 @@ Machine::run(Workload &workload)
         }
 
         const MemRef ref = *next;
+        proc.lastRef = ref;
+        proc.hasRef = true;
         const Cycles work = ref.work * cfg_.busyScale;
         Tick t = proc.readyAt + work;
         proc.stats.busy += work;
@@ -155,6 +251,9 @@ Machine::run(Workload &workload)
             else
                 ++proc.stats.writes;
             proc.readyAt = res.done;
+            lastRetire = std::max(lastRetire, res.done);
+            if (checker_)
+                creditInvariantSweep(1);
             ready.emplace(proc.readyAt, cpu);
             break;
           }
@@ -195,9 +294,17 @@ Machine::run(Workload &workload)
     }
 
     if (sync.parked() != 0 || live != 0) {
-        panic("deadlock: run ended with ", sync.parked(),
-              " parked and ", live, " live processors");
+        Tick endOfTime = lastRetire;
+        for (const Proc &p : procs)
+            endOfTime = std::max(endOfTime, p.readyAt);
+        panic("deadlock: run ended with ", sync.parked(), " parked and ",
+              live, " live processors\n", snapshot(endOfTime).format());
     }
+
+    // One final full sweep so a run whose last transition corrupted
+    // state still fails loudly.
+    if (checker_)
+        checker_->enforce();
 
     Tick execTime = 0;
     std::vector<CpuStats> cpus;

@@ -35,11 +35,14 @@
 namespace vcoma
 {
 
+class InvariantChecker;
+
 /** A fully assembled machine for one translation scheme. */
 class Machine
 {
   public:
     explicit Machine(const MachineConfig &cfg);
+    ~Machine();
 
     /** Run @p workload to completion and collect the stats sheet. */
     RunStats run(Workload &workload);
@@ -59,6 +62,15 @@ class Machine
     /** Reference-bit decay sweeps performed (Section 4.1 daemon). */
     std::uint64_t refBitDecays() const { return refBitDecays_.value(); }
 
+    /** The coherence sanitizer, or nullptr when checking is off. */
+    InvariantChecker *checker() { return checker_.get(); }
+
+    /** Effective sanitizer interval (config or $VCOMA_CHECK); 0=off. */
+    std::uint64_t invariantCheckInterval() const { return checkInterval_; }
+
+    /** Effective watchdog limit (config or $VCOMA_WATCHDOG); 0=off. */
+    Cycles watchdogCycles() const { return watchdogCycles_; }
+
     /** @{ @name Component access */
     const MachineConfig &config() const { return cfg_; }
     const SchemeTraits &traits() const { return traits_; }
@@ -77,6 +89,12 @@ class Machine
     /** Page-daemon victim: another resident page of @p colour. */
     PageNum pickSwapVictim(std::uint64_t colour, PageNum protect);
 
+    /**
+     * Add @p weight to the sanitizer's sweep budget and run a full
+     * sweep once it reaches the configured interval.
+     */
+    void creditInvariantSweep(std::uint64_t weight);
+
     /** Gather the stats sheet after a run. */
     RunStats collect(Workload &workload, std::vector<CpuStats> cpus,
                      Tick execTime);
@@ -93,6 +111,11 @@ class Machine
     CoherenceEngine engine_;
     ProtectionManager protection_;
     Counter refBitDecays_;
+    /** Present only when the sanitizer is enabled for this run. */
+    std::unique_ptr<InvariantChecker> checker_;
+    std::uint64_t checkInterval_ = 0;
+    std::uint64_t checkCredit_ = 0;
+    Cycles watchdogCycles_ = 0;
 };
 
 } // namespace vcoma

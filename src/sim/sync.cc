@@ -12,6 +12,29 @@ SyncManager::SyncManager(unsigned numCpus, const TimingConfig &timing)
 {
 }
 
+std::vector<SyncManager::ParkedWaiter>
+SyncManager::parkedWaiters() const
+{
+    std::vector<ParkedWaiter> waiters;
+    // Every processor recorded in an incomplete barrier episode is
+    // parked (the completing arrival clears the episode), as is every
+    // processor queued on a held lock.
+    for (const auto &[id, barrier] : barriers_) {
+        for (const auto &[cpu, since] : barrier.arrived)
+            waiters.push_back({cpu, ParkedWaiter::Kind::Barrier, id, since});
+    }
+    for (const auto &[id, lock] : locks_) {
+        for (const auto &[cpu, since] : lock.queue)
+            waiters.push_back({cpu, ParkedWaiter::Kind::Lock, id, since});
+    }
+    std::sort(waiters.begin(), waiters.end(),
+              [](const ParkedWaiter &a, const ParkedWaiter &b) {
+                  return a.cpu < b.cpu;
+              });
+    VCOMA_ASSERT(waiters.size() == parked_);
+    return waiters;
+}
+
 std::optional<SyncManager::BarrierRelease>
 SyncManager::arriveBarrier(std::uint32_t id, CpuId cpu, Tick now)
 {

@@ -67,6 +67,25 @@ class SyncManager
     /** Processors currently parked (deadlock detection). */
     unsigned parked() const { return parked_; }
 
+    /** What one parked processor is waiting on (diagnostics). */
+    struct ParkedWaiter
+    {
+        enum class Kind : std::uint8_t { Barrier, Lock };
+
+        CpuId cpu = 0;
+        Kind kind = Kind::Barrier;
+        /** Barrier or lock identifier. */
+        std::uint32_t id = 0;
+        /** Tick at which the processor parked. */
+        Tick since = 0;
+    };
+
+    /**
+     * Every currently parked processor with the barrier or lock it
+     * waits on, sorted by cpu id (deadlock/watchdog dumps).
+     */
+    std::vector<ParkedWaiter> parkedWaiters() const;
+
     Counter barrierEpisodes;
     Counter lockAcquires;
     Counter lockContended;

@@ -148,6 +148,24 @@ Tlb::invalidate(PageNum vpn)
 }
 
 void
+Tlb::forEachEntry(const std::function<void(PageNum)> &fn) const
+{
+    if (entries_ == 0)
+        return;
+    if (assoc_ == 0) {
+        for (PageNum vpn : faSlots_) {
+            if (vpn != noVpn)
+                fn(vpn);
+        }
+        return;
+    }
+    for (PageNum vpn : saTags_) {
+        if (vpn != noVpn)
+            fn(vpn);
+    }
+}
+
+void
 Tlb::flush()
 {
     if (entries_ == 0)

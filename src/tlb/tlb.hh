@@ -19,6 +19,7 @@
 #define VCOMA_TLB_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,12 @@ class Tlb
 
     /** Drop all entries (context switch / full shoot-down). */
     void flush();
+
+    /**
+     * Visit the vpn of every cached entry (invariant checking).
+     * Order is unspecified; the structure is not modified.
+     */
+    void forEachEntry(const std::function<void(PageNum)> &fn) const;
 
     unsigned entries() const { return entries_; }
     unsigned assoc() const { return assoc_; }

@@ -111,6 +111,41 @@ TEST(TablePrinter, NumFormatsDecimals)
     EXPECT_EQ(Table::num(0.00042, 4), "0.0004");
 }
 
+TEST(TablePrinter, FootnotesRenderAfterRows)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"a", "n/a*"});
+    t.footnote("n/a: config X failed to simulate");
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    const std::size_t rowAt = text.find("n/a*");
+    const std::size_t noteAt =
+        text.find("* n/a: config X failed to simulate");
+    EXPECT_NE(rowAt, std::string::npos);
+    ASSERT_NE(noteAt, std::string::npos) << text;
+    EXPECT_LT(rowAt, noteAt);
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_NE(csv.str().find("# * n/a: config X failed to simulate\n"),
+              std::string::npos)
+        << csv.str();
+}
+
+TEST(TablePrinter, NoFootnotesMeansUnchangedOutput)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str().find('*'), std::string::npos);
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "name,value\na,1\n");
+}
+
 // ---------------------------------------------------------------------
 // Config + scheme traits
 // ---------------------------------------------------------------------

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/logging.hh"
 #include "net/network.hh"
 
 using namespace vcoma;
@@ -102,4 +105,18 @@ TEST(Network, DeliveryNeverBeforeTransferTime)
         EXPECT_GE(arrive, t + 16);
         t += 5;
     }
+}
+
+TEST(Network, MisroutedMessagePanicsWithContext)
+{
+    Network net(4, paperTiming());
+    try {
+        net.send(0, 9, MsgSize::Request, 0);
+        FAIL() << "out-of-range destination must panic";
+    } catch (const PanicError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("node 9"), std::string::npos) << what;
+        EXPECT_NE(what.find("4-node machine"), std::string::npos) << what;
+    }
+    EXPECT_THROW(net.send(7, 1, MsgSize::Block, 0), PanicError);
 }

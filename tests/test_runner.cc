@@ -376,6 +376,76 @@ TEST(Runner, NoCacheAcceptsConventionalTruthyValues)
     }
 }
 
+TEST(Runner, RunAllCompletesPastFailingConfig)
+{
+    // One config names a workload that does not exist, so its
+    // simulation dies in makeWorkload; the sweep must still complete
+    // every other config and report the failure.
+    std::vector<ExperimentConfig> cfgs = tinyBatch();
+    const std::size_t bad = 2;
+    cfgs[bad].workload = "NO_SUCH_WORKLOAD";
+
+    EnvGuard strict("VCOMA_STRICT", nullptr);
+    EnvGuard env("VCOMA_JOBS", "4");
+    Runner runner("");
+    const auto results = runner.runAll(cfgs);
+
+    ASSERT_EQ(results.size(), cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        if (i == bad) {
+            EXPECT_EQ(results[i], nullptr);
+        } else {
+            ASSERT_NE(results[i], nullptr) << "config " << i;
+            EXPECT_EQ(results[i]->workload, cfgs[i].workload);
+        }
+    }
+
+    const auto failures = runner.failures();
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].key, cfgs[bad].key());
+    EXPECT_NE(failures[0].error.find("NO_SUCH_WORKLOAD"),
+              std::string::npos)
+        << failures[0].error;
+    EXPECT_NE(failures[0].error.find(schemeName(cfgs[bad].scheme)),
+              std::string::npos)
+        << failures[0].error;
+}
+
+TEST(Runner, RunRethrowsRecordedFailureWithoutReExecuting)
+{
+    ExperimentConfig bad = tinyExperiment();
+    bad.workload = "NO_SUCH_WORKLOAD";
+
+    EnvGuard strict("VCOMA_STRICT", nullptr);
+    Runner runner("");
+    EXPECT_EQ(runner.tryRun(bad), nullptr);
+    const unsigned executedOnce = runner.executed();
+    EXPECT_THROW(runner.run(bad), SimulationError);
+    EXPECT_EQ(runner.tryRun(bad), nullptr);
+    EXPECT_EQ(runner.executed(), executedOnce)
+        << "a recorded failure must not re-execute";
+}
+
+TEST(Runner, StrictModeFailsFast)
+{
+    std::vector<ExperimentConfig> cfgs = tinyBatch();
+    cfgs[0].workload = "NO_SUCH_WORKLOAD";
+
+    EnvGuard strict("VCOMA_STRICT", "1");
+    EnvGuard env("VCOMA_JOBS", "2");
+    Runner runner("");
+    EXPECT_THROW(runner.runAll(cfgs), SimulationError);
+}
+
+TEST(Runner, TryRunReturnsStatsOnSuccess)
+{
+    Runner runner("");
+    const RunStats *stats = runner.tryRun(tinyExperiment());
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats, &runner.run(tinyExperiment()));
+    EXPECT_TRUE(runner.failures().empty());
+}
+
 TEST(RunStats, DerivedMetrics)
 {
     Runner runner("");
