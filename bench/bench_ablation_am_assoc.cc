@@ -11,6 +11,7 @@ int
 main(int argc, char **argv)
 {
     const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::BenchReport report("ablation_am_assoc");
     const double scale = vcoma_bench::banner("Ablation (AM associativity)");
     vcoma::Runner runner;
     // The whole sweep, built up front: cache misses execute
@@ -19,5 +20,6 @@ main(int argc, char **argv)
     runner.runAll(vcoma::amAssociativityConfigs(scale));
     sink(vcoma::amAssociativity(runner, scale));
     vcoma_bench::footer(runner);
+    report.finish(&runner);
     return 0;
 }

@@ -12,6 +12,7 @@ int
 main(int argc, char **argv)
 {
     const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::BenchReport report("ablation_layout");
     const double scale = vcoma_bench::banner("Ablation (layout pressure)");
     vcoma::Runner runner;
     // The whole sweep, built up front: cache misses execute
@@ -20,5 +21,6 @@ main(int argc, char **argv)
     runner.runAll(vcoma::layoutPressureConfigs(scale));
     sink(vcoma::layoutPressure(runner, scale));
     vcoma_bench::footer(runner);
+    report.finish(&runner);
     return 0;
 }

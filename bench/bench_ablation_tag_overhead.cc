@@ -10,7 +10,9 @@ int
 main(int argc, char **argv)
 {
     const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::BenchReport report("ablation_tag_overhead");
     vcoma_bench::banner("Section 6 (virtual tag overhead)");
     sink(vcoma::tagOverheadTable());
+    report.finish(nullptr);
     return 0;
 }

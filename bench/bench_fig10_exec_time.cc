@@ -12,6 +12,7 @@ int
 main(int argc, char **argv)
 {
     const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::BenchReport report("fig10_exec_time");
     const double scale = vcoma_bench::banner("Figure 10 (execution time)");
     vcoma::Runner runner;
     // The whole sweep, built up front: cache misses execute
@@ -21,5 +22,6 @@ main(int argc, char **argv)
     for (const auto &table : vcoma::figure10ExecTime(runner, scale))
         sink(table);
     vcoma_bench::footer(runner);
+    report.finish(&runner);
     return 0;
 }

@@ -10,6 +10,7 @@ int
 main(int argc, char **argv)
 {
     const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::BenchReport report("fig11_pressure");
     const double scale = vcoma_bench::banner("Figure 11 (pressure)");
     vcoma::Runner runner;
     // The whole sweep, built up front: cache misses execute
@@ -19,5 +20,6 @@ main(int argc, char **argv)
     for (const auto &table : vcoma::figure11Pressure(runner, scale))
         sink(table);
     vcoma_bench::footer(runner);
+    report.finish(&runner);
     return 0;
 }

@@ -11,6 +11,7 @@ int
 main(int argc, char **argv)
 {
     const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::BenchReport report("fig8_miss_curves");
     const double scale = vcoma_bench::banner("Figure 8 (miss curves)");
     vcoma::Runner runner;
     // The whole sweep, built up front: cache misses execute
@@ -20,5 +21,6 @@ main(int argc, char **argv)
     for (const auto &table : vcoma::figure8MissCurves(runner, scale))
         sink(table);
     vcoma_bench::footer(runner);
+    report.finish(&runner);
     return 0;
 }

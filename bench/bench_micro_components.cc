@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "common/rng.hh"
 #include "mem/cache.hh"
 #include "sim/machine.hh"
@@ -122,4 +123,17 @@ BENCHMARK(BM_SimulatedRefThroughput)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run also leaves a BENCH_*.json
+// report like every other bench binary.
+int
+main(int argc, char **argv)
+{
+    vcoma_bench::BenchReport report("micro_components");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    report.finish(nullptr);
+    return 0;
+}

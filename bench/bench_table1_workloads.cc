@@ -10,7 +10,9 @@ int
 main(int argc, char **argv)
 {
     const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::BenchReport report("table1_workloads");
     const double scale = vcoma_bench::banner("Table 1 (benchmarks)");
     sink(vcoma::table1Benchmarks(scale));
+    report.finish(nullptr);
     return 0;
 }

@@ -10,6 +10,7 @@ int
 main(int argc, char **argv)
 {
     const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::BenchReport report("table2_miss_rates");
     const double scale = vcoma_bench::banner("Table 2 (miss rates)");
     vcoma::Runner runner;
     // The whole sweep, built up front: cache misses execute
@@ -18,5 +19,6 @@ main(int argc, char **argv)
     runner.runAll(vcoma::missStudySweepConfigs(scale));
     sink(vcoma::table2MissRates(runner, scale));
     vcoma_bench::footer(runner);
+    report.finish(&runner);
     return 0;
 }

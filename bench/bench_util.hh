@@ -12,14 +12,82 @@
 #ifndef VCOMA_BENCH_BENCH_UTIL_HH
 #define VCOMA_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/json.hh"
 #include "harness/experiments.hh"
 #include "harness/runner.hh"
 
 namespace vcoma_bench
 {
+
+/**
+ * Machine-readable run report: every bench binary writes
+ * BENCH_<name>.json next to its working directory so CI can collect
+ * wall time and executed-simulation counts without scraping the
+ * (human-oriented) table output. Writing a side file never perturbs
+ * stdout, so the byte-identity guarantee on table output holds.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    /** Attach a named scalar to the report. */
+    void
+    metric(const std::string &key, double value)
+    {
+        metrics_.emplace_back(key, value);
+    }
+
+    /**
+     * Write BENCH_<name>.json. Pass the Runner when the bench has one
+     * so the report carries its executed/failure counts; pass nullptr
+     * for benches without a Runner (the micro-benchmarks).
+     */
+    void
+    finish(const vcoma::Runner *runner) const
+    {
+        const double wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        std::ofstream out("BENCH_" + name_ + ".json");
+        if (!out)
+            return;  // reports are best-effort; never fail the bench
+        out << "{\"bench\":\"" << vcoma::jsonEscape(name_)
+            << "\",\"schema\":1,\"wall_ms\":" << wallMs
+            << ",\"executed\":" << (runner ? runner->executed() : 0)
+            << ",\"failures\":"
+            << (runner ? runner->failures().size() : 0);
+        if (!metrics_.empty()) {
+            out << ",\"metrics\":{";
+            bool first = true;
+            for (const auto &[key, value] : metrics_) {
+                out << (first ? "" : ",") << "\""
+                    << vcoma::jsonEscape(key) << "\":" << value;
+                first = false;
+            }
+            out << "}";
+        }
+        out << "}\n";
+    }
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /** Print the standard banner and return the configured scale. */
 inline double

@@ -144,6 +144,17 @@ class AttractionMemory
     Counter sharedDrops;   ///< Shared victims silently replaced
     /** @} */
 
+    /** Register the counters on @p g as <prefix>hits etc. */
+    void
+    addStats(StatGroup &g, const std::string &prefix) const
+    {
+        g.addCounter(prefix + "hits", hits);
+        g.addCounter(prefix + "misses", misses);
+        g.addCounter(prefix + "installs", installs);
+        g.addCounter(prefix + "invalidations", invalidations);
+        g.addCounter(prefix + "sharedDrops", sharedDrops);
+    }
+
   private:
     std::string name_;
     CacheConfig cfg_;

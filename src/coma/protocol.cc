@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "sim/event_trace.hh"
 
 namespace vcoma
 {
@@ -91,26 +92,37 @@ CoherenceEngine::victimBlockVa(const AmLine &line) const
 }
 
 Cycles
-CoherenceEngine::chargeTlb(Node &node, PageNum vpn, StreamClass cls)
+CoherenceEngine::chargeTlb(Node &node, PageNum vpn, StreamClass cls, Tick t)
 {
     if (!node.tlb)
         return 0;
     const bool hit = node.tlb->access(vpn, cls);
-    if (!hit && cfg_.timedTranslation)
-        return cfg_.timing.translationMiss;
-    return 0;
+    if (hit)
+        return 0;
+    if (tracer_) {
+        tracer_->instant("tlbFill", EventTracer::TrackTranslation, node.id,
+                         t, vpn << layout_.pageBits());
+    }
+    return cfg_.timedTranslation ? cfg_.timing.translationMiss : 0;
 }
 
 Cycles
-CoherenceEngine::chargeDlb(Node &home, PageInfo &page, bool exclusiveReq,
-                           StreamClass cls)
+CoherenceEngine::chargeDlb(Node &home, PageInfo &page, NodeId requester,
+                           bool exclusiveReq, StreamClass cls, Tick t)
 {
     if (!home.dlb)
         return 0;
-    const bool hit = home.dlb->access(page, exclusiveReq, cls);
-    if (!hit && cfg_.timedTranslation)
-        return cfg_.timing.translationMiss;
-    return 0;
+    const bool hit = home.dlb->access(page, requester, exclusiveReq, cls);
+    if (hit)
+        return 0;
+    const Cycles penalty =
+        cfg_.timedTranslation ? cfg_.timing.translationMiss : 0;
+    dlbFillLatency.sample(static_cast<double>(penalty));
+    if (tracer_) {
+        tracer_->instant("dlbFill", EventTracer::TrackTranslation, home.id,
+                         t, page.vpn << layout_.pageBits());
+    }
+    return penalty;
 }
 
 void
@@ -148,7 +160,7 @@ purgeCachesRaw(Node &node, VAddr slcBase, VAddr flcBase,
 } // namespace
 
 void
-CoherenceEngine::invalidateAt(NodeId m, const BlockCtx &ctx)
+CoherenceEngine::invalidateAt(NodeId m, const BlockCtx &ctx, Tick t)
 {
     Node &node = *nodes_[m];
     const AmState prior = node.am.invalidate(ctx.amKey);
@@ -158,6 +170,10 @@ CoherenceEngine::invalidateAt(NodeId m, const BlockCtx &ctx)
     purgeCachesRaw(node, slcKeyOf(ctx.blockVa), flcKeyOf(ctx.blockVa),
                    cfg_.am.blockBytes, writebackMerges);
     ++node.invalsReceived;
+    if (tracer_) {
+        tracer_->instant("invalidate", EventTracer::TrackInvalidation, m, t,
+                         ctx.blockVa);
+    }
 }
 
 void
@@ -187,7 +203,8 @@ CoherenceEngine::dropSharedVictim(Node &node, VAddr blockVa, Tick t)
     home.pe.acquire(arrive, cfg_.timing.peOccupancy);
     if (traits_.scheme == Scheme::VCOMA) {
         home.shadow.access(vpn, StreamClass::Writeback);
-        chargeDlb(home, *page, false, StreamClass::Writeback);
+        chargeDlb(home, *page, node.id, false, StreamClass::Writeback,
+                  arrive);
     }
 
     purgeCachesRaw(node, slcKeyOf(blockVa), flcKeyOf(blockVa),
@@ -201,6 +218,10 @@ CoherenceEngine::injectBlock(Node &from, VAddr blockVa, AmState st,
     VCOMA_ASSERT(isOwnerState(st));
     ++injections;
     ++from.injectionsIssued;
+    if (tracer_) {
+        tracer_->instant("inject", EventTracer::TrackCoherence, from.id, t,
+                         blockVa);
+    }
 
     const PageNum vpn = layout_.vpn(blockVa);
     PageInfo *page = pageTable_.find(vpn);
@@ -229,7 +250,8 @@ CoherenceEngine::injectBlock(Node &from, VAddr blockVa, AmState st,
     t = s + cfg_.timing.directoryLookup;
     if (traits_.scheme == Scheme::VCOMA) {
         home.shadow.access(vpn, StreamClass::Writeback);
-        t += chargeDlb(home, *page, false, StreamClass::Writeback);
+        t += chargeDlb(home, *page, from.id, false, StreamClass::Writeback,
+                       s);
     }
 
     auto tryAccept = [&](Node &cand) -> bool {
@@ -364,7 +386,8 @@ CoherenceEngine::remoteRead(Node &n, const BlockCtx &ctx, Tick t,
 
     if (traits_.scheme == Scheme::VCOMA) {
         home.shadow.access(page.vpn, StreamClass::Demand);
-        const Cycles p = chargeDlb(home, page, false, StreamClass::Demand);
+        const Cycles p =
+            chargeDlb(home, page, n.id, false, StreamClass::Demand, s);
         xlat += p;
         t += p;
     }
@@ -411,7 +434,8 @@ CoherenceEngine::remoteWrite(Node &n, const BlockCtx &ctx, bool hasData,
 
     if (traits_.scheme == Scheme::VCOMA) {
         home.shadow.access(page.vpn, StreamClass::Demand);
-        const Cycles p = chargeDlb(home, page, true, StreamClass::Demand);
+        const Cycles p =
+            chargeDlb(home, page, n.id, true, StreamClass::Demand, s);
         xlat += p;
         t += p;
     }
@@ -444,7 +468,7 @@ CoherenceEngine::remoteWrite(Node &n, const BlockCtx &ctx, bool hasData,
             checkVersion(ctx, ownLine, 1);
             dataArrive = network_.send(m, n.id, MsgSize::Block, sa);
         }
-        invalidateAt(m, ctx);
+        invalidateAt(m, ctx, sm);
         e.dropCopy(m);
         ++invalidationsSent;
         const Tick ack = network_.send(m, page.home, MsgSize::Request,
@@ -479,9 +503,34 @@ AccessResult
 CoherenceEngine::access(CpuId cpu, RefType type, VAddr va, Tick now)
 {
     const AccessResult res = accessImpl(cpu, type, va, now);
+    // Filtering effect: a reference served by the local hierarchy
+    // never generated a home-directory (DLB) lookup.
+    if (traits_.scheme == Scheme::VCOMA && res.servedBy != ServedBy::Remote)
+        ++dlbFilteredRefs;
     if (transitionHook_ && res.servedBy == ServedBy::Remote)
         transitionHook_();
     return res;
+}
+
+void
+CoherenceEngine::addStats(StatGroup &g) const
+{
+    g.addCounter("remoteReads", remoteReads);
+    g.addCounter("remoteWrites", remoteWrites);
+    g.addCounter("upgrades", upgrades);
+    g.addCounter("readForwards", readForwards);
+    g.addCounter("invalidationsSent", invalidationsSent);
+    g.addCounter("injections", injections);
+    g.addCounter("injectionHops", injectionHops);
+    g.addCounter("injectionSwaps", injectionSwaps);
+    g.addCounter("sharedDrops", sharedDrops);
+    g.addCounter("writebackMerges", writebackMerges);
+    g.addCounter("tlbShootdowns", tlbShootdowns);
+    g.addCounter("protectionFaults", protectionFaults);
+    g.addCounter("dlbFilteredRefs", dlbFilteredRefs);
+    g.addDistribution("remoteReadLatency", remoteReadLatency);
+    g.addDistribution("remoteWriteLatency", remoteWriteLatency);
+    g.addDistribution("dlbFillLatency", dlbFillLatency);
 }
 
 AccessResult
@@ -503,7 +552,7 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
     // ----- L0: translation before the first-level cache -----
     if (traits_.scheme == Scheme::L0) {
         node.shadow.access(vpn, StreamClass::Demand);
-        const Cycles p = chargeTlb(node, vpn, StreamClass::Demand);
+        const Cycles p = chargeTlb(node, vpn, StreamClass::Demand, t);
         res.xlat += p;
         t += p;
     }
@@ -523,7 +572,7 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
     // ----- FLC -> SLC transit: read miss fill or write-through store
     if (traits_.scheme == Scheme::L1) {
         node.shadow.access(vpn, StreamClass::Demand);
-        const Cycles p = chargeTlb(node, vpn, StreamClass::Demand);
+        const Cycles p = chargeTlb(node, vpn, StreamClass::Demand, t);
         res.xlat += p;
         t += p;
     }
@@ -555,7 +604,7 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
          (!slcRes.hit || st != AmState::Exclusive));
     if (traits_.scheme == Scheme::L2 && crossesToAm) {
         node.shadow.access(vpn, StreamClass::Demand);
-        const Cycles p = chargeTlb(node, vpn, StreamClass::Demand);
+        const Cycles p = chargeTlb(node, vpn, StreamClass::Demand, t);
         res.xlat += p;
         t += p;
     }
@@ -566,7 +615,7 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
         (type == RefType::Write && st != AmState::Exclusive);
     if (traits_.scheme == Scheme::L3 && crossesNode) {
         node.shadow.access(vpn, StreamClass::Demand);
-        const Cycles p = chargeTlb(node, vpn, StreamClass::Demand);
+        const Cycles p = chargeTlb(node, vpn, StreamClass::Demand, t);
         res.xlat += p;
         t += p;
     }
@@ -598,6 +647,11 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
         const Cycles xlatBefore = res.xlat;
         t = remoteRead(node, ctx, t + tm.amTagCheck, res.xlat);
         res.remote = (t - start) - (res.xlat - xlatBefore);
+        remoteReadLatency.sample(static_cast<double>(res.remote));
+        if (tracer_) {
+            tracer_->complete("remoteRead", EventTracer::TrackCoherence,
+                              cpu, start, t, ctx.blockVa);
+        }
         res.done = t;
         res.local = (t - now) - res.remote - res.xlat;
         res.servedBy = ServedBy::Remote;
@@ -641,6 +695,12 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
     const Cycles tagCheck = hasData ? 0 : tm.amTagCheck;
     t = remoteWrite(node, ctx, hasData, t + tagCheck, res.xlat);
     res.remote = (t - start) - (res.xlat - xlatBefore);
+    remoteWriteLatency.sample(static_cast<double>(res.remote));
+    if (tracer_) {
+        tracer_->complete(hasData ? "upgrade" : "remoteWrite",
+                          EventTracer::TrackCoherence, cpu, start, t,
+                          ctx.blockVa);
+    }
     res.done = t;
     res.local = (t - now) - res.remote - res.xlat;
     res.servedBy = ServedBy::Remote;

@@ -43,6 +43,8 @@
 namespace vcoma
 {
 
+class EventTracer;
+
 /** Thrown when an access violates the page's protection bits. */
 class ProtectionFault : public std::runtime_error
 {
@@ -134,6 +136,15 @@ class CoherenceEngine
 
     const SchemeTraits &traits() const { return traits_; }
 
+    /**
+     * Attach an event tracer (nullptr detaches). Not owned; must
+     * outlive the engine's last access.
+     */
+    void setTracer(EventTracer *tracer) { tracer_ = tracer; }
+
+    /** Register every engine counter/distribution on @p g. */
+    void addStats(StatGroup &g) const;
+
     /** @{ @name Protocol statistics */
     Counter remoteReads;        ///< read misses served remotely
     Counter remoteWrites;       ///< write misses served remotely
@@ -147,6 +158,19 @@ class CoherenceEngine
     Counter writebackMerges;    ///< dirty SLC data folded into AM ops
     Counter tlbShootdowns;      ///< TLB invalidations on page purges
     Counter protectionFaults;
+    /**
+     * The filtering effect (Section 5.2): references satisfied by the
+     * local hierarchy that therefore never reach the home DLB. Only
+     * counted under V-COMA; together with the DLBs' demand accesses
+     * it partitions the processor references.
+     */
+    Counter dlbFilteredRefs;
+    /** @} */
+
+    /** @{ @name Latency distributions (cycles) */
+    Distribution remoteReadLatency;   ///< round-trip of remote reads
+    Distribution remoteWriteLatency;  ///< round-trip, writes/upgrades
+    Distribution dlbFillLatency;      ///< penalty charged per DLB fill
     /** @} */
 
   private:
@@ -178,11 +202,14 @@ class CoherenceEngine
     VAddr flcKeyOf(VAddr blockVa);
     VAddr slcKeyOf(VAddr blockVa);
 
-    /** Timed+counted access of the configured private TLB. */
-    Cycles chargeTlb(Node &node, PageNum vpn, StreamClass cls);
-    /** Timed+counted DLB access at the home node. */
-    Cycles chargeDlb(Node &home, PageInfo &page, bool exclusiveReq,
-                     StreamClass cls);
+    /** Timed+counted access of the configured private TLB at @p t. */
+    Cycles chargeTlb(Node &node, PageNum vpn, StreamClass cls, Tick t);
+    /**
+     * Timed+counted DLB access at the home node at @p t, on behalf of
+     * @p requester (attribution of the sharing/prefetching effects).
+     */
+    Cycles chargeDlb(Node &home, PageInfo &page, NodeId requester,
+                     bool exclusiveReq, StreamClass cls, Tick t);
 
     /** Version self-check at check level >= @p level. */
     void checkVersion(const BlockCtx &ctx, const AmLine *line,
@@ -204,8 +231,8 @@ class CoherenceEngine
     /** Drop a Shared victim: clear its copyset bit, notify home. */
     void dropSharedVictim(Node &node, VAddr victimBlockVa, Tick t);
 
-    /** Invalidate node @p m's copy of the block (AM + caches). */
-    void invalidateAt(NodeId m, const BlockCtx &ctx);
+    /** Invalidate node @p m's copy of the block (AM + caches) at @p t. */
+    void invalidateAt(NodeId m, const BlockCtx &ctx, Tick t);
 
     /** Remote read transaction. @return completion tick. */
     Tick remoteRead(Node &n, const BlockCtx &ctx, Tick t, Cycles &xlat);
@@ -233,6 +260,7 @@ class CoherenceEngine
     Rng rng_;
     std::function<PageNum(std::uint64_t, PageNum)> swapVictimPicker_;
     std::function<void()> transitionHook_;
+    EventTracer *tracer_ = nullptr;  ///< optional, not owned
 
     /**
      * Pages with live directory references somewhere up the call

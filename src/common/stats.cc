@@ -2,24 +2,48 @@
 
 #include <iomanip>
 
+#include "common/logging.hh"
+
 namespace vcoma
 {
 
 void
+StatGroup::checkScalarName(const std::string &name) const
+{
+    for (const auto &[n, c] : counters_) {
+        if (n == name)
+            fatal("stat group '", name_, "': duplicate stat name '", name,
+                  "'");
+    }
+    for (const auto &[n, d] : dists_) {
+        if (n == name)
+            fatal("stat group '", name_, "': duplicate stat name '", name,
+                  "'");
+    }
+}
+
+void
 StatGroup::addCounter(const std::string &name, const Counter &c)
 {
+    checkScalarName(name);
     counters_.emplace_back(name, &c);
 }
 
 void
 StatGroup::addDistribution(const std::string &name, const Distribution &d)
 {
+    checkScalarName(name);
     dists_.emplace_back(name, &d);
 }
 
 void
 StatGroup::addChild(const StatGroup &child)
 {
+    for (const auto *g : children_) {
+        if (g->name() == child.name())
+            fatal("stat group '", name_, "': duplicate child group '",
+                  child.name(), "'");
+    }
     children_.push_back(&child);
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vcoma
@@ -73,48 +74,134 @@ class Distribution
 };
 
 /**
+ * A by-value snapshot of a Distribution's moments, for carrying
+ * through RunStats, the result cache and the JSON exporter without
+ * referencing the live Distribution.
+ */
+struct DistSummary
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    double mean() const { return count ? sum / count : 0.0; }
+
+    static DistSummary
+    of(const Distribution &d)
+    {
+        return {d.count(), d.sum(), d.min(), d.max()};
+    }
+
+    /** Fold another summary in (as if both sample streams merged). */
+    void
+    merge(const DistSummary &o)
+    {
+        if (o.count == 0)
+            return;
+        if (count == 0) {
+            *this = o;
+            return;
+        }
+        count += o.count;
+        sum += o.sum;
+        if (o.min < min)
+            min = o.min;
+        if (o.max > max)
+            max = o.max;
+    }
+};
+
+/**
  * A fixed-bucket histogram over [0, buckets); values beyond the last
- * bucket are clamped. Used e.g. for the Figure 11 pressure profile.
+ * bucket still land in the last bucket (so totals stay totals), but
+ * the clamped mass is also tracked in overflow() — a profile with a
+ * fat final bucket and nonzero overflow is telling you the range was
+ * too small, not that the tail genuinely piled up at the edge. Used
+ * e.g. for the Figure 11 pressure profile.
  */
 class Histogram
 {
   public:
     explicit Histogram(std::size_t buckets = 0) : buckets_(buckets, 0) {}
 
-    void resize(std::size_t buckets) { buckets_.assign(buckets, 0); }
+    void
+    resize(std::size_t buckets)
+    {
+        buckets_.assign(buckets, 0);
+        overflow_ = 0;
+    }
 
     void
     add(std::size_t bucket, std::uint64_t n = 1)
     {
         if (buckets_.empty())
             return;
-        if (bucket >= buckets_.size())
+        if (bucket >= buckets_.size()) {
+            overflow_ += n;
             bucket = buckets_.size() - 1;
+        }
         buckets_[bucket] += n;
     }
 
     std::size_t size() const { return buckets_.size(); }
     std::uint64_t at(std::size_t i) const { return buckets_.at(i); }
     const std::vector<std::uint64_t> &data() const { return buckets_; }
+    /** Mass added beyond the last bucket (and clamped into it). */
+    std::uint64_t overflow() const { return overflow_; }
 
   private:
     std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
 };
 
 /**
  * A group of named stats a component exposes for dumping. Components
  * register references; the group never owns the counters.
+ *
+ * Lifetime contract: a StatGroup stores raw pointers to the
+ * registered Counter/Distribution objects and child groups. Every
+ * registered object must outlive the last dump() of this group, and
+ * must not move after registration (registering a Counter inside a
+ * vector that later reallocates is a dangling pointer). The intended
+ * pattern — which machine.cc follows — is to build the whole group
+ * tree immediately before dumping, from components whose addresses
+ * are stable for the call.
+ *
+ * Moving a StatGroup is allowed and transfers its registrations (the
+ * pointers it holds stay valid — they point at the components, not at
+ * the group). The moved-from group is left empty and may be dumped or
+ * re-registered without undefined behaviour, but note that any parent
+ * that captured the old group's address via addChild() still points
+ * at the moved-from (now empty) shell: addChild() after moves, never
+ * before. Copying is disabled — a copy would silently alias the
+ * registered pointers.
  */
 class StatGroup
 {
   public:
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
-    /** Register a scalar counter under @p name. */
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    StatGroup(StatGroup &&other) noexcept { swap(other); }
+
+    StatGroup &
+    operator=(StatGroup &&other) noexcept
+    {
+        if (this != &other) {
+            StatGroup tmp(std::move(other));
+            swap(tmp);
+        }
+        return *this;
+    }
+
+    /** Register a scalar counter under @p name; fatal on duplicates. */
     void addCounter(const std::string &name, const Counter &c);
-    /** Register a distribution under @p name. */
+    /** Register a distribution under @p name; fatal on duplicates. */
     void addDistribution(const std::string &name, const Distribution &d);
-    /** Nest a child group. */
+    /** Nest a child group; fatal when a child of that name exists. */
     void addChild(const StatGroup &child);
 
     /** Pretty-print all registered stats, one per line. */
@@ -123,6 +210,18 @@ class StatGroup
     const std::string &name() const { return name_; }
 
   private:
+    void
+    swap(StatGroup &other) noexcept
+    {
+        name_.swap(other.name_);
+        counters_.swap(other.counters_);
+        dists_.swap(other.dists_);
+        children_.swap(other.children_);
+    }
+
+    /** fatal() when @p name is already a counter or distribution. */
+    void checkScalarName(const std::string &name) const;
+
     std::string name_;
     std::vector<std::pair<std::string, const Counter *>> counters_;
     std::vector<std::pair<std::string, const Distribution *>> dists_;

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <iomanip>
 #include <sstream>
 #include <thread>
 #include <unordered_set>
@@ -328,6 +329,25 @@ Runner::load(const std::string &path, RunStats &stats) const
                 stats.swapOuts >> stats.tlbShootdowns;
         } else if (tag == "network") {
             ls >> stats.requestMessages >> stats.blockMessages;
+        } else if (tag == "dlb") {
+            ls >> stats.dlbFilteredRefs >> stats.dlbSharedHits >>
+                stats.dlbPrefetchedFills;
+        } else if (tag == "dlbreq") {
+            ls >> stats.dlbRequestersPerEntry.count >>
+                stats.dlbRequestersPerEntry.sum >>
+                stats.dlbRequestersPerEntry.min >>
+                stats.dlbRequestersPerEntry.max;
+        } else if (tag == "lat") {
+            // lat <which> <count> <sum> <min> <max>
+            std::string which;
+            ls >> which;
+            DistSummary *d = which == "read" ? &stats.remoteReadLatency
+                             : which == "write"
+                                 ? &stats.remoteWriteLatency
+                             : which == "dlbfill" ? &stats.dlbFillLatency
+                                                  : nullptr;
+            if (d)
+                ls >> d->count >> d->sum >> d->min >> d->max;
         } else if (tag == "end") {
             return true;
         }
@@ -406,6 +426,25 @@ Runner::storeOnce(const std::string &path, const RunStats &stats,
         << stats.swapOuts << " " << stats.tlbShootdowns << "\n";
     out << "network " << stats.requestMessages << " "
         << stats.blockMessages << "\n";
+    // Observability extras, appended after the v3 tags so old cache
+    // files (which simply lack them) still load with default-zero
+    // values; the loader ignores tags it does not know, so nothing
+    // here requires a magic bump.
+    out << "dlb " << stats.dlbFilteredRefs << " " << stats.dlbSharedHits
+        << " " << stats.dlbPrefetchedFills << "\n";
+    const auto putSummary = [&out](const char *tag, const char *which,
+                                   const DistSummary &d) {
+        out << tag;
+        if (*which)
+            out << " " << which;
+        out << " " << d.count << " " << std::setprecision(17) << d.sum
+            << " " << d.min << " " << d.max << std::setprecision(6)
+            << "\n";
+    };
+    putSummary("dlbreq", "", stats.dlbRequestersPerEntry);
+    putSummary("lat", "read", stats.remoteReadLatency);
+    putSummary("lat", "write", stats.remoteWriteLatency);
+    putSummary("lat", "dlbfill", stats.dlbFillLatency);
     out << "end\n";
     out.close();
     std::error_code ec;

@@ -121,6 +121,18 @@ class Cache
     Counter invalidations;
     /** @} */
 
+    /** Register the counters on @p g as <prefix>readHits etc. */
+    void
+    addStats(StatGroup &g, const std::string &prefix) const
+    {
+        g.addCounter(prefix + "readHits", readHits);
+        g.addCounter(prefix + "readMisses", readMisses);
+        g.addCounter(prefix + "writeHits", writeHits);
+        g.addCounter(prefix + "writeMisses", writeMisses);
+        g.addCounter(prefix + "writebacks", writebacks);
+        g.addCounter(prefix + "invalidations", invalidations);
+    }
+
     /** Total accesses. */
     std::uint64_t
     accesses() const

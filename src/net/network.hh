@@ -82,6 +82,16 @@ class Network
     Distribution queueing;  ///< cycles spent waiting for ports
     /** @} */
 
+    /** Register the counters/distribution on @p g. */
+    void
+    addStats(StatGroup &g) const
+    {
+        g.addCounter("requestMessages", requestMessages);
+        g.addCounter("blockMessages", blockMessages);
+        g.addCounter("localMessages", localMessages);
+        g.addDistribution("queueing", queueing);
+    }
+
   private:
     TimingConfig timing_;
     std::vector<Resource> outPorts_;

@@ -10,6 +10,8 @@
 #include "check/snapshot.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "sim/event_trace.hh"
+#include "sim/run_stats_json.hh"
 #include "sim/sync.hh"
 #include "translation/system_builder.hh"
 
@@ -72,6 +74,11 @@ Machine::Machine(const MachineConfig &cfg)
         // weigh much more than plain references in the sweep budget.
         engine_.onTransition([this] { creditInvariantSweep(64); });
     }
+
+    // Observability: off (and free) unless $VCOMA_TRACE_EVENTS names
+    // an output file.
+    tracer_ = EventTracer::fromEnv();
+    engine_.setTracer(tracer_.get());
 }
 
 Machine::~Machine() = default;
@@ -313,7 +320,14 @@ Machine::run(Workload &workload)
         execTime = std::max(execTime, proc.stats.finish);
         cpus.push_back(proc.stats);
     }
-    return collect(workload, std::move(cpus), execTime);
+    RunStats stats = collect(workload, std::move(cpus), execTime);
+
+    // Observability exports, both env-gated: one JSONL line per run
+    // ($VCOMA_STATS_JSON) and the Chrome trace ($VCOMA_TRACE_EVENTS).
+    exportRunStatsJsonFromEnv(stats);
+    if (tracer_)
+        tracer_->flush(cfg_.numNodes);
+    return stats;
 }
 
 void
@@ -321,33 +335,23 @@ Machine::dumpStats(std::ostream &os) const
 {
     StatGroup root("machine");
 
+    // Each component registers its own counters; this function only
+    // assembles the hierarchy. Everything registered here lives in
+    // this Machine, satisfying StatGroup's lifetime contract for the
+    // dump below.
     StatGroup protocol("protocol");
-    protocol.addCounter("remoteReads", engine_.remoteReads);
-    protocol.addCounter("remoteWrites", engine_.remoteWrites);
-    protocol.addCounter("upgrades", engine_.upgrades);
-    protocol.addCounter("readForwards", engine_.readForwards);
-    protocol.addCounter("invalidationsSent", engine_.invalidationsSent);
-    protocol.addCounter("injections", engine_.injections);
-    protocol.addCounter("injectionHops", engine_.injectionHops);
-    protocol.addCounter("injectionSwaps", engine_.injectionSwaps);
-    protocol.addCounter("sharedDrops", engine_.sharedDrops);
-    protocol.addCounter("writebackMerges", engine_.writebackMerges);
-    protocol.addCounter("tlbShootdowns", engine_.tlbShootdowns);
-    protocol.addCounter("protectionFaults", engine_.protectionFaults);
+    engine_.addStats(protocol);
     root.addChild(protocol);
 
     StatGroup net("network");
-    net.addCounter("requestMessages", network_.requestMessages);
-    net.addCounter("blockMessages", network_.blockMessages);
-    net.addCounter("localMessages", network_.localMessages);
-    net.addDistribution("queueing", network_.queueing);
+    network_.addStats(net);
     root.addChild(net);
 
     StatGroup vm("vm");
     vm.addCounter("pageFaults", pageTable_.pageFaults);
     vm.addCounter("pageReloads", pageTable_.pageReloads);
     vm.addCounter("swapOuts", pageTable_.swapOuts);
-    vm.addCounter("pressureOverflows", pressure_.overflows);
+    pressure_.addStats(vm);
     vm.addCounter("refBitDecays", refBitDecays_);
     root.addChild(vm);
 
@@ -356,35 +360,21 @@ Machine::dumpStats(std::ostream &os) const
     for (const auto &nodePtr : nodes_) {
         const Node &n = *nodePtr;
         StatGroup group("node" + std::to_string(n.id));
-        group.addCounter("flc.readHits", n.flc.readHits);
-        group.addCounter("flc.readMisses", n.flc.readMisses);
-        group.addCounter("flc.writeHits", n.flc.writeHits);
-        group.addCounter("flc.writeMisses", n.flc.writeMisses);
-        group.addCounter("slc.readHits", n.slc.readHits);
-        group.addCounter("slc.readMisses", n.slc.readMisses);
-        group.addCounter("slc.writebacks", n.slc.writebacks);
-        group.addCounter("am.hits", n.am.hits);
-        group.addCounter("am.misses", n.am.misses);
-        group.addCounter("am.installs", n.am.installs);
-        group.addCounter("am.invalidations", n.am.invalidations);
+        n.flc.addStats(group, "flc.");
+        n.slc.addStats(group, "slc.");
+        n.am.addStats(group, "am.");
+        group.addCounter("upgradesIssued", n.upgradesIssued);
         group.addCounter("injectionsIssued", n.injectionsIssued);
         group.addCounter("injectionsAccepted", n.injectionsAccepted);
         group.addCounter("invalsReceived", n.invalsReceived);
-        if (n.tlb) {
-            group.addCounter("tlb.demandAccesses",
-                             n.tlb->demandAccesses);
-            group.addCounter("tlb.demandMisses", n.tlb->demandMisses);
-        }
-        if (n.dlb) {
-            group.addCounter("dlb.demandAccesses",
-                             n.dlb->tlb().demandAccesses);
-            group.addCounter("dlb.demandMisses",
-                             n.dlb->tlb().demandMisses);
-            group.addCounter("dlb.refBitSets", n.dlb->refBitSets);
-            group.addCounter("dlb.modBitSets", n.dlb->modBitSets);
-        }
+        if (n.tlb)
+            n.tlb->addStats(group, "tlb.");
+        if (n.dlb)
+            n.dlb->addStats(group, "dlb.");
         nodeGroups.push_back(std::move(group));
     }
+    // addChild only after every move: the vector's elements now have
+    // their final addresses (see the StatGroup lifetime contract).
     for (const auto &group : nodeGroups)
         root.addChild(group);
 
@@ -443,6 +433,15 @@ Machine::collect(Workload &workload, std::vector<CpuStats> cpus,
                 n.dlb->tlb().writebackAccesses.value();
             stats.tlbWritebackMisses +=
                 n.dlb->tlb().writebackMisses.value();
+            // Sample the requester spread of the still-live DLB
+            // entries (retired ones were sampled as they left), then
+            // fold this home node into the machine-wide DLB-effect
+            // counters (Section 5.2: sharing and prefetching).
+            n.dlb->finalizeEntryStats();
+            stats.dlbSharedHits += n.dlb->sharedHits.value();
+            stats.dlbPrefetchedFills += n.dlb->prefetchedFills.value();
+            stats.dlbRequestersPerEntry.merge(
+                DistSummary::of(n.dlb->requestersPerEntry));
         }
     }
 
@@ -461,6 +460,11 @@ Machine::collect(Workload &workload, std::vector<CpuStats> cpus,
 
     stats.requestMessages = network_.requestMessages.value();
     stats.blockMessages = network_.blockMessages.value();
+
+    stats.dlbFilteredRefs = engine_.dlbFilteredRefs.value();
+    stats.remoteReadLatency = DistSummary::of(engine_.remoteReadLatency);
+    stats.remoteWriteLatency = DistSummary::of(engine_.remoteWriteLatency);
+    stats.dlbFillLatency = DistSummary::of(engine_.dlbFillLatency);
     return stats;
 }
 

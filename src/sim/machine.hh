@@ -36,6 +36,7 @@ namespace vcoma
 {
 
 class InvariantChecker;
+class EventTracer;
 
 /** A fully assembled machine for one translation scheme. */
 class Machine
@@ -64,6 +65,9 @@ class Machine
 
     /** The coherence sanitizer, or nullptr when checking is off. */
     InvariantChecker *checker() { return checker_.get(); }
+
+    /** The event tracer ($VCOMA_TRACE_EVENTS), or nullptr when off. */
+    EventTracer *tracer() { return tracer_.get(); }
 
     /** Effective sanitizer interval (config or $VCOMA_CHECK); 0=off. */
     std::uint64_t invariantCheckInterval() const { return checkInterval_; }
@@ -111,6 +115,8 @@ class Machine
     CoherenceEngine engine_;
     ProtectionManager protection_;
     Counter refBitDecays_;
+    /** Present only when $VCOMA_TRACE_EVENTS names an output file. */
+    std::unique_ptr<EventTracer> tracer_;
     /** Present only when the sanitizer is enabled for this run. */
     std::unique_ptr<InvariantChecker> checker_;
     std::uint64_t checkInterval_ = 0;

@@ -77,7 +77,10 @@ RunStats::missesPerNode(unsigned entries, unsigned assoc,
     const ShadowPoint &p = shadowPoint(entries, assoc);
     const std::uint64_t misses =
         p.demandMisses + (includeWritebacks ? p.writebackMisses : 0);
-    return static_cast<double>(misses) / numNodes;
+    // A default-constructed RunStats has numNodes == 0; report 0
+    // rather than dividing into inf/NaN (missRatePct guards the same
+    // way on totalRefs()).
+    return numNodes ? static_cast<double>(misses) / numNodes : 0.0;
 }
 
 double

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace vcoma
@@ -111,6 +112,32 @@ struct RunStats
     /** @{ @name Network counters */
     std::uint64_t requestMessages = 0;
     std::uint64_t blockMessages = 0;
+    /** @} */
+
+    /**
+     * @{ @name DLB effect evidence (the paper's V-COMA advantages)
+     *
+     * The three reasons a home-node DLB beats per-node TLBs:
+     * filtering (most references are satisfied by local caches/AM and
+     * never reach the home DLB), sharing (one DLB entry serves
+     * requests from several nodes) and prefetching (the fill done for
+     * one requester is already there for the next). Zero for the
+     * per-node-TLB schemes.
+     */
+    /** References satisfied below the home DLB (absorbed locally). */
+    std::uint64_t dlbFilteredRefs = 0;
+    /** DLB hits by a node other than the one whose miss filled it. */
+    std::uint64_t dlbSharedHits = 0;
+    /** DLB fills that later served at least one other node. */
+    std::uint64_t dlbPrefetchedFills = 0;
+    /** Distinct requester nodes per retired DLB entry. */
+    DistSummary dlbRequestersPerEntry;
+    /** @} */
+
+    /** @{ @name Latency distributions (cycles) */
+    DistSummary remoteReadLatency;   ///< network round-trip, remote reads
+    DistSummary remoteWriteLatency;  ///< round-trip, remote writes/upgrades
+    DistSummary dlbFillLatency;      ///< translation penalty per DLB fill
     /** @} */
 
     /** @{ @name Aggregates */

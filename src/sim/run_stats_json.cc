@@ -1,0 +1,173 @@
+#include "sim/run_stats_json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/run_stats.hh"
+#include "translation/scheme.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+/// Keeps JSONL lines whole under Runner::runAll's worker threads.
+std::mutex statsFileMutex;
+
+/// Shortest representation that round-trips a double through JSON.
+void
+putNumber(std::ostream &os, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Prefer a shorter form when it round-trips exactly.
+    char shorter[32];
+    for (int prec = 1; prec < 17; ++prec) {
+        std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+        if (std::strtod(shorter, nullptr) == v) {
+            os << shorter;
+            return;
+        }
+    }
+    os << buf;
+}
+
+void
+putDist(std::ostream &os, const DistSummary &d)
+{
+    os << "{\"count\":" << d.count << ",\"sum\":";
+    putNumber(os, d.sum);
+    os << ",\"min\":";
+    putNumber(os, d.min);
+    os << ",\"max\":";
+    putNumber(os, d.max);
+    os << ",\"mean\":";
+    putNumber(os, d.mean());
+    os << "}";
+}
+
+} // namespace
+
+void
+writeRunStatsJson(std::ostream &os, const RunStats &s)
+{
+    os << "{\"schema\":1";
+    os << ",\"workload\":\"" << jsonEscape(s.workload) << "\"";
+    os << ",\"parameters\":\"" << jsonEscape(s.parameters) << "\"";
+    os << ",\"scheme\":\"" << jsonEscape(schemeName(s.scheme)) << "\"";
+    os << ",\"numNodes\":" << s.numNodes;
+    os << ",\"sharedBytes\":" << s.sharedBytes;
+    os << ",\"execTime\":" << s.execTime;
+
+    os << ",\"totals\":{\"refs\":" << s.totalRefs()
+       << ",\"busy\":" << s.totalBusy() << ",\"sync\":" << s.totalSync()
+       << ",\"locStall\":" << s.totalLocStall()
+       << ",\"remStall\":" << s.totalRemStall()
+       << ",\"xlatStall\":" << s.totalXlatStall() << "}";
+
+    os << ",\"xlatOverTotalStallPct\":";
+    putNumber(os, s.xlatOverTotalStallPct());
+
+    os << ",\"cpus\":[";
+    for (std::size_t i = 0; i < s.cpus.size(); ++i) {
+        const CpuStats &c = s.cpus[i];
+        if (i)
+            os << ",";
+        os << "{\"refs\":" << c.refs << ",\"reads\":" << c.reads
+           << ",\"writes\":" << c.writes << ",\"busy\":" << c.busy
+           << ",\"sync\":" << c.sync << ",\"locStall\":" << c.locStall
+           << ",\"remStall\":" << c.remStall
+           << ",\"xlatStall\":" << c.xlatStall
+           << ",\"finish\":" << c.finish
+           << ",\"accounted\":" << c.accounted() << "}";
+    }
+    os << "]";
+
+    os << ",\"shadow\":[";
+    for (std::size_t i = 0; i < s.shadow.size(); ++i) {
+        const ShadowPoint &p = s.shadow[i];
+        if (i)
+            os << ",";
+        os << "{\"entries\":" << p.entries << ",\"assoc\":" << p.assoc
+           << ",\"demandAccesses\":" << p.demandAccesses
+           << ",\"demandMisses\":" << p.demandMisses
+           << ",\"writebackAccesses\":" << p.writebackAccesses
+           << ",\"writebackMisses\":" << p.writebackMisses << "}";
+    }
+    os << "]";
+
+    os << ",\"tlb\":{\"accesses\":" << s.tlbAccesses
+       << ",\"misses\":" << s.tlbMisses
+       << ",\"writebackAccesses\":" << s.tlbWritebackAccesses
+       << ",\"writebackMisses\":" << s.tlbWritebackMisses << "}";
+
+    os << ",\"pressureProfile\":[";
+    for (std::size_t i = 0; i < s.pressureProfile.size(); ++i) {
+        if (i)
+            os << ",";
+        putNumber(os, s.pressureProfile[i]);
+    }
+    os << "]";
+
+    os << ",\"caches\":{\"flcAccesses\":" << s.flcAccesses
+       << ",\"flcMisses\":" << s.flcMisses
+       << ",\"slcAccesses\":" << s.slcAccesses
+       << ",\"slcMisses\":" << s.slcMisses << ",\"amHits\":" << s.amHits
+       << ",\"amMisses\":" << s.amMisses << "}";
+
+    os << ",\"protocol\":{\"remoteReads\":" << s.remoteReads
+       << ",\"remoteWrites\":" << s.remoteWrites
+       << ",\"upgrades\":" << s.upgrades
+       << ",\"invalidations\":" << s.invalidations
+       << ",\"injections\":" << s.injections
+       << ",\"injectionHops\":" << s.injectionHops
+       << ",\"sharedDrops\":" << s.sharedDrops
+       << ",\"pageFaults\":" << s.pageFaults
+       << ",\"swapOuts\":" << s.swapOuts
+       << ",\"tlbShootdowns\":" << s.tlbShootdowns << "}";
+
+    os << ",\"network\":{\"requestMessages\":" << s.requestMessages
+       << ",\"blockMessages\":" << s.blockMessages << "}";
+
+    os << ",\"dlb\":{\"filteredRefs\":" << s.dlbFilteredRefs
+       << ",\"sharedHits\":" << s.dlbSharedHits
+       << ",\"prefetchedFills\":" << s.dlbPrefetchedFills
+       << ",\"requestersPerEntry\":";
+    putDist(os, s.dlbRequestersPerEntry);
+    os << "}";
+
+    os << ",\"latency\":{\"remoteRead\":";
+    putDist(os, s.remoteReadLatency);
+    os << ",\"remoteWrite\":";
+    putDist(os, s.remoteWriteLatency);
+    os << ",\"dlbFill\":";
+    putDist(os, s.dlbFillLatency);
+    os << "}";
+
+    os << "}";
+}
+
+bool
+exportRunStatsJsonFromEnv(const RunStats &stats)
+{
+    const char *path = std::getenv(statsJsonEnvVar);
+    if (!path || !*path)
+        return false;
+
+    std::lock_guard<std::mutex> lock(statsFileMutex);
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        warn("stats export: cannot open ", path, "; line dropped");
+        return false;
+    }
+    writeRunStatsJson(os, stats);
+    os << "\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace vcoma

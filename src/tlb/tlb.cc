@@ -47,8 +47,10 @@ Tlb::organisation() const
 }
 
 bool
-Tlb::lookupAndFill(PageNum vpn)
+Tlb::lookupAndFill(PageNum vpn, PageNum *evictedOut)
 {
+    if (evictedOut)
+        *evictedOut = noVpn;
     if (entries_ == 0)
         return false;
     if (assoc_ == 0) {
@@ -63,6 +65,8 @@ Tlb::lookupAndFill(PageNum vpn)
             faFree_.pop_back();
         } else {
             slot = static_cast<unsigned>(rng_.below(entries_));
+            if (evictedOut)
+                *evictedOut = faSlots_[slot];
             faMap_.erase(faSlots_[slot]);
         }
         faSlots_[slot] = vpn;
@@ -84,14 +88,17 @@ Tlb::lookupAndFill(PageNum vpn)
             return false;
         }
     }
-    base[rng_.below(assoc_)] = vpn;
+    const unsigned victim = static_cast<unsigned>(rng_.below(assoc_));
+    if (evictedOut)
+        *evictedOut = base[victim];
+    base[victim] = vpn;
     return false;
 }
 
 bool
-Tlb::access(PageNum vpn, StreamClass cls)
+Tlb::access(PageNum vpn, StreamClass cls, PageNum *evictedOut)
 {
-    const bool hit = lookupAndFill(vpn);
+    const bool hit = lookupAndFill(vpn, evictedOut);
     if (cls == StreamClass::Demand) {
         ++demandAccesses;
         if (!hit)
@@ -163,6 +170,15 @@ Tlb::forEachEntry(const std::function<void(PageNum)> &fn) const
         if (vpn != noVpn)
             fn(vpn);
     }
+}
+
+void
+Tlb::addStats(StatGroup &g, const std::string &prefix) const
+{
+    g.addCounter(prefix + "demandAccesses", demandAccesses);
+    g.addCounter(prefix + "demandMisses", demandMisses);
+    g.addCounter(prefix + "writebackAccesses", writebackAccesses);
+    g.addCounter(prefix + "writebackMisses", writebackMisses);
 }
 
 void

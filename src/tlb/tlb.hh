@@ -55,9 +55,13 @@ class Tlb
      * @param cls whether this is a demand access or a write-back /
      *            injection access (Section 2.2.2's poor-locality
      *            stream).
+     * @param evictedOut when non-null, receives the vpn the fill
+     *            displaced (or noVpn when nothing was evicted), so
+     *            callers holding per-entry metadata can retire it.
      * @return true on hit.
      */
-    bool access(PageNum vpn, StreamClass cls = StreamClass::Demand);
+    bool access(PageNum vpn, StreamClass cls = StreamClass::Demand,
+                PageNum *evictedOut = nullptr);
 
     /** Presence probe without statistics or replacement effects. */
     bool contains(PageNum vpn) const;
@@ -104,9 +108,13 @@ class Tlb
         return demandMisses.value() + writebackMisses.value();
     }
 
-  private:
+    /** Register the counters on @p g as <prefix>demandAccesses etc. */
+    void addStats(StatGroup &g, const std::string &prefix) const;
+
+    /** Sentinel "no page" value (also the empty-slot tag). */
     static constexpr PageNum noVpn = ~PageNum{0};
 
+  private:
     unsigned entries_;
     unsigned assoc_;
     unsigned indexShift_;
@@ -122,7 +130,7 @@ class Tlb
     std::vector<PageNum> saTags_;
     unsigned numSets_ = 0;
 
-    bool lookupAndFill(PageNum vpn);
+    bool lookupAndFill(PageNum vpn, PageNum *evictedOut);
 };
 
 } // namespace vcoma

@@ -63,6 +63,13 @@ class PressureTracker
     /** Times a pageIn pushed a colour past full capacity. */
     Counter overflows;
 
+    /** Register the counters on @p g under machine-level names. */
+    void
+    addStats(StatGroup &g) const
+    {
+        g.addCounter("pressureOverflows", overflows);
+    }
+
   private:
     std::uint64_t capacity_;
     std::vector<std::uint64_t> counts_;

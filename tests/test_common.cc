@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "translation/scheme.hh"
@@ -55,6 +57,90 @@ TEST(Stats, HistogramClampsToLastBucket)
     h.add(99);
     EXPECT_EQ(h.at(0), 1u);
     EXPECT_EQ(h.at(3), 2u);
+    // The clamp keeps totals right but is no longer silent: the
+    // out-of-range mass is reported separately.
+    EXPECT_EQ(h.overflow(), 1u);
+    h.add(4, 10);
+    EXPECT_EQ(h.overflow(), 11u);
+    h.resize(4);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Stats, HistogramInRangeAddsLeaveOverflowZero)
+{
+    Histogram h(3);
+    h.add(0);
+    h.add(2, 5);
+    EXPECT_EQ(h.overflow(), 0u);
+    Histogram empty;
+    empty.add(7);  // no buckets: dropped, not counted as overflow
+    EXPECT_EQ(empty.overflow(), 0u);
+}
+
+TEST(Stats, DistSummaryMergesLikeOneStream)
+{
+    Distribution a, b;
+    a.sample(2);
+    a.sample(10);
+    b.sample(1);
+    b.sample(5);
+    DistSummary s = DistSummary::of(a);
+    s.merge(DistSummary::of(b));
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.sum, 18.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    // Merging an empty summary changes nothing; merging into an empty
+    // one adopts the other side wholesale.
+    s.merge(DistSummary{});
+    EXPECT_EQ(s.count, 4u);
+    DistSummary e;
+    e.merge(s);
+    EXPECT_EQ(e.count, 4u);
+    EXPECT_DOUBLE_EQ(e.min, 1.0);
+}
+
+TEST(Stats, GroupRejectsDuplicateNames)
+{
+    Counter c1, c2;
+    Distribution d;
+    StatGroup g("dup");
+    g.addCounter("events", c1);
+    EXPECT_THROW(g.addCounter("events", c2), FatalError);
+    // Counters and distributions share one namespace.
+    EXPECT_THROW(g.addDistribution("events", d), FatalError);
+    StatGroup childA("sub"), childB("sub");
+    g.addChild(childA);
+    EXPECT_THROW(g.addChild(childB), FatalError);
+}
+
+TEST(Stats, GroupMoveTransfersRegistrationsSafely)
+{
+    Counter c;
+    c += 7;
+    StatGroup original("engine");
+    original.addCounter("events", c);
+
+    StatGroup moved(std::move(original));
+    std::ostringstream os;
+    moved.dump(os);
+    EXPECT_NE(os.str().find("events = 7"), std::string::npos);
+
+    // Dumping the moved-from shell is defined behaviour: it is simply
+    // empty, and it can be reused for new registrations.
+    std::ostringstream empty;
+    original.dump(empty);
+    EXPECT_EQ(empty.str().find("events"), std::string::npos);
+    Counter other;
+    original.addCounter("events", other);  // no duplicate: it is empty
+
+    StatGroup assigned("target");
+    assigned = std::move(moved);
+    std::ostringstream os2;
+    assigned.dump(os2);
+    EXPECT_NE(os2.str().find("engine:"), std::string::npos);
+    EXPECT_NE(os2.str().find("events = 7"), std::string::npos);
 }
 
 TEST(Stats, GroupDumpContainsEntries)
