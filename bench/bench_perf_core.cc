@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Perf smoke test for the per-reference simulation core: one fixed,
+ * FLC-hit-heavy configuration simulated twice — hit fast path off,
+ * then on — reporting host refs/sec for both and asserting that the
+ * two runs produce identical statistics (the fast path is a speed
+ * knob, never a model knob).
+ *
+ * The exit status reflects only output identity: a perf regression
+ * shows up in BENCH_perf_core.json (refs_per_sec_* and speedup
+ * metrics) without failing the binary, so CI archives the numbers but
+ * gates merges only on correctness.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hh"
+#include "sim/machine.hh"
+#include "sim/run_stats_json.hh"
+#include "translation/system_builder.hh"
+#include "workloads/workload.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+/**
+ * The measurement workload: each thread re-sweeps a private buffer
+ * that fits its FLC, so after the first iteration nearly every read
+ * is an FLC hit and nearly every write a silent store (AM Exclusive,
+ * SLC hit) — the two cases the fast path accelerates. Threads carry
+ * widely different compute phases (work grows with the thread id), so
+ * the event heap sees the asymmetric timing of real programs instead
+ * of artificial lockstep — the regime the batching layer targets.
+ */
+class FlcResweepWorkload : public Workload
+{
+  public:
+    FlcResweepWorkload(unsigned threads, unsigned iterations)
+        : threads_(threads), iterations_(iterations)
+    {
+        bases_.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            bases_.push_back(space_.alloc(
+                "resweep.buf" + std::to_string(t), bufBytes,
+                /*align=*/4096));
+        }
+    }
+
+    std::string name() const override { return "FLC-RESWEEP"; }
+
+    std::string
+    parameters() const override
+    {
+        return std::to_string(iterations_) + " sweeps of " +
+               std::to_string(bufBytes) + " B per thread";
+    }
+
+    unsigned numThreads() const override { return threads_; }
+    const AddressSpace &space() const override { return space_; }
+    Generator<MemRef> thread(unsigned tid) override { return body(tid); }
+
+  private:
+    static constexpr unsigned bufBytes = 2048;
+
+    Generator<MemRef>
+    body(unsigned tid)
+    {
+        const VAddr base = bases_[tid];
+        const std::uint32_t work = 2u << (2 * tid);
+        for (unsigned it = 0; it < iterations_; ++it) {
+            for (unsigned off = 0; off < bufBytes; off += 32) {
+                co_yield MemRef::read(base + off, work);
+                if (off % 256 == 0)
+                    co_yield MemRef::write(base + off, work);
+            }
+        }
+    }
+
+    unsigned threads_;
+    unsigned iterations_;
+    AddressSpace space_;
+    std::vector<VAddr> bases_;
+};
+
+/** The fixed machine: tiny geometry with an FLC the buffer fits. */
+MachineConfig
+perfConfig(bool fastPath)
+{
+    MachineConfig cfg = tinyConfig(Scheme::VCOMA);
+    cfg.flc.sizeBytes = 8 * 1024;  // covers the 2 KB per-thread buffer
+    cfg.slc.sizeBytes = 32 * 1024;
+    cfg.fastPath = fastPath;
+    return cfg;
+}
+
+struct Measurement
+{
+    double refsPerSec = 0;
+    std::string json;  ///< writeRunStatsJson() of the final RunStats
+    std::string dump;  ///< full component stats hierarchy
+};
+
+Measurement
+measure(bool fastPath, unsigned iterations, unsigned reps)
+{
+    Measurement best;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        Machine machine(perfConfig(fastPath));
+        FlcResweepWorkload w(machine.numNodes(), iterations);
+        const auto t0 = std::chrono::steady_clock::now();
+        const RunStats stats = machine.run(w);
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        const double rate =
+            static_cast<double>(stats.totalRefs()) / dt.count();
+        if (rate > best.refsPerSec) {
+            best.refsPerSec = rate;
+        }
+        if (rep == 0) {
+            std::ostringstream json;
+            writeRunStatsJson(json, stats);
+            best.json = json.str();
+            std::ostringstream dump;
+            machine.dumpStats(dump);
+            best.dump = dump.str();
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    // The config knob must control both runs even when the caller's
+    // environment pins the fast path one way or the other.
+    ::unsetenv("VCOMA_FASTPATH");
+
+    vcoma_bench::BenchReport report("perf_core");
+    std::cout << "V-COMA reproduction - perf smoke (per-reference "
+                 "core)\n"
+              << "(fixed FLC-hit-heavy config; host timing, so the "
+                 "numbers vary run to run — only statistics identity "
+                 "is pass/fail)\n\n";
+
+    constexpr unsigned iterations = 1500;
+    constexpr unsigned reps = 3;
+    const Measurement slow = measure(false, iterations, reps);
+    const Measurement fast = measure(true, iterations, reps);
+
+    std::cout << "fast path off: " << static_cast<std::uint64_t>(
+                     slow.refsPerSec) << " refs/sec\n"
+              << "fast path on:  " << static_cast<std::uint64_t>(
+                     fast.refsPerSec) << " refs/sec\n"
+              << "speedup:       " << fast.refsPerSec / slow.refsPerSec
+              << "x\n";
+
+    report.metric("refs_per_sec_slow", slow.refsPerSec);
+    report.metric("refs_per_sec_fast", fast.refsPerSec);
+    report.metric("speedup", fast.refsPerSec / slow.refsPerSec);
+    report.finish(nullptr);
+
+    if (fast.json != slow.json || fast.dump != slow.dump) {
+        std::cerr << "FAIL: fast-path run diverged from the slow-path "
+                     "run\n";
+        if (fast.json != slow.json)
+            std::cerr << "RunStats JSON differs:\n  slow: " << slow.json
+                      << "\n  fast: " << fast.json << "\n";
+        return 1;
+    }
+    std::cout << "\n[statistics identical with the fast path on and "
+                 "off]\n";
+    return 0;
+}

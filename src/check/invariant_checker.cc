@@ -48,6 +48,10 @@ InvariantChecker::checkAll() const
     checkOrphanLines(out);
     checkPressure(out);
     checkTranslationResidency(out);
+    // The engine's hit-filter entries must agree with the structures
+    // they shadow (panics internally on a stale pointer; a filter bug
+    // shows up as a crash here rather than as silent divergence).
+    m_.engine().verifyFastFilter();
     return out;
 }
 

@@ -92,6 +92,13 @@ class AttractionMemory
     void touch(VAddr addr);
 
     /**
+     * Update LRU for a line the caller already resolved (the fast
+     * path keeps the pointer): identical effect to touch(line.key)
+     * without the set scan.
+     */
+    void touchLine(AmLine &line) { line.lastUse = ++useClock_; }
+
+    /**
      * Pick a victim frame in the set of @p addr, preferring Invalid
      * frames, then the LRU Shared copy, then the LRU owned copy.
      */

@@ -1,8 +1,10 @@
 #include "coma/protocol.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/bitops.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "sim/event_trace.hh"
 
@@ -19,12 +21,66 @@ CoherenceEngine::CoherenceEngine(const MachineConfig &cfg,
       directory_(directory), network_(network), nodes_(nodes),
       rng_(cfg.seed ^ 0xc0a1e5ce)
 {
+    pageMask_ = mask(layout_.pageBits());
+    pageCtx_.resize(pageCtxSlots);
+
+    // The fast filter is a pure simulator optimisation; results are
+    // identical with it on or off. It is structurally excluded where
+    // the slow path has per-reference side effects the filter cannot
+    // replay: L0 charges its TLB before the FLC on every reference,
+    // L1 additionally on every store, and checkLevel >= 2 wants the
+    // version self-check on every cache hit.
+    const char *fp = std::getenv("VCOMA_FASTPATH");
+    fastConfigured_ = fp ? envTruthy("VCOMA_FASTPATH") : cfg_.fastPath;
+    fastReads_ = fastConfigured_ && traits_.scheme != Scheme::L0 &&
+                 cfg_.checkLevel < 2;
+    fastWrites_ = fastReads_ && traits_.scheme != Scheme::L1;
+    if (fastReads_) {
+        fast_.resize(static_cast<std::size_t>(cfg_.numNodes) *
+                     fastBlocksPerCpu);
+        rawNodes_.reserve(nodes_.size());
+        for (auto &n : nodes_)
+            rawNodes_.push_back(n.get());
+    }
+}
+
+PageInfo &
+CoherenceEngine::residentPage(VAddr va, VAddr &paBase)
+{
+    const PageNum vpn = layout_.vpn(va);
+    if (!fastConfigured_) {
+        // Pristine reference path: page-table walk per reference,
+        // for A/B comparison against the memoised core.
+        PageInfo &page = pageTable_.ensureResident(va);
+        paBase = traits_.hasPhysicalAddresses()
+                     ? static_cast<VAddr>(page.frame) << layout_.pageBits()
+                     : 0;
+        return page;
+    }
+    PageCtx &ent = pageCtx_[vpn & (pageCtxSlots - 1)];
+    if (ent.vpn == vpn && ent.epoch == xlatEpoch_ && ent.page->resident) {
+        paBase = ent.paBase;
+        return *ent.page;
+    }
+    PageInfo &page = pageTable_.ensureResident(va);
+    // Fill after ensureResident: a fault can preload/swap pages and
+    // bump the epoch, and the memo must carry the post-fault epoch.
+    ent.vpn = vpn;
+    ent.epoch = xlatEpoch_;
+    ent.page = &page;
+    ent.paBase =
+        traits_.hasPhysicalAddresses()
+            ? static_cast<VAddr>(page.frame) << layout_.pageBits()
+            : 0;
+    paBase = ent.paBase;
+    return page;
 }
 
 PageInfo &
 CoherenceEngine::pageFor(VAddr va, RefType type)
 {
-    PageInfo &page = pageTable_.ensureResident(va);
+    VAddr paBase = 0;
+    PageInfo &page = residentPage(va, paBase);
     const std::uint8_t need =
         type == RefType::Read ? ProtRead : ProtWrite;
     if (!(page.protection & need)) {
@@ -50,11 +106,12 @@ CoherenceEngine::BlockCtx
 CoherenceEngine::resolve(VAddr va)
 {
     BlockCtx ctx;
-    ctx.page = &pageTable_.ensureResident(va);
+    VAddr paBase = 0;
+    ctx.page = &residentPage(va, paBase);
     ctx.blockVa = layout_.blockAlign(va);
     ctx.blockIdx = layout_.dirEntryIndex(va);
     if (traits_.hasPhysicalAddresses()) {
-        const PAddr pa = pageTable_.translate(va);
+        const PAddr pa = paBase | (va & pageMask_);
         const PAddr blockPa = pa & ~mask(layout_.blockBits());
         ctx.amKey = traits_.amVirtual ? ctx.blockVa : blockPa;
         ctx.flcKey = traits_.flcVirtual ? va : pa;
@@ -509,7 +566,121 @@ CoherenceEngine::access(CpuId cpu, RefType type, VAddr va, Tick now)
         ++dlbFilteredRefs;
     if (transitionHook_ && res.servedBy == ServedBy::Remote)
         transitionHook_();
+    if (fastReads_)
+        fillFastEntry(cpu, va);
     return res;
+}
+
+void
+CoherenceEngine::fillFastEntry(CpuId cpu, VAddr va)
+{
+    const PageNum vpn = layout_.vpn(va);
+    PageInfo *page = pageTable_.find(vpn);
+    if (!page || !page->resident)
+        return;
+    DirectoryPage *dp = directory_.findPage(vpn);
+    if (!dp)
+        return;
+    const VAddr blockVa = layout_.blockAlign(va);
+    FastBlock &ent = fast_[fastSlot(cpu, blockVa)];
+    ent.blockVa = blockVa;
+    ent.epoch = xlatEpoch_;
+    ent.page = page;
+    ent.entry = &dp->entry(layout_.dirEntryIndex(va));
+    ent.paBase =
+        traits_.hasPhysicalAddresses()
+            ? static_cast<VAddr>(page->frame) << layout_.pageBits()
+            : 0;
+    ent.amKey = traits_.amVirtual || !traits_.hasPhysicalAddresses()
+                    ? blockVa
+                    : ent.paBase | (blockVa & pageMask_);
+    ent.amLine = nodes_[cpu]->am.find(ent.amKey);
+}
+
+bool
+CoherenceEngine::fastWrite(CpuId cpu, VAddr va, Tick now, FastBlock &ent,
+                           PageInfo &page, AccessResult &out)
+{
+    Node &node = *rawNodes_[cpu];
+    const TimingConfig &tm = cfg_.timing;
+    const VAddr pa = ent.paBase | (va & pageMask_);
+
+    // Writes: only the silent store (block already Exclusive here)
+    // with an SLC hit stays entirely local with flat timing.
+    if (!fastWrites_)
+        return false;
+    if (!(page.protection & ProtWrite))
+        return false;
+    AmLine *line = ent.amLine;
+    if (!line || line->key != ent.amKey ||
+        line->state != AmState::Exclusive) {
+        return false;
+    }
+    const VAddr slcKey = traits_.slcVirtual ? va : pa;
+    const std::uint32_t sIdx = node.slc.lookup(slcKey);
+    if (sIdx == Cache::npos)
+        return false;
+    DirectoryEntry &e = *ent.entry;
+    VCOMA_ASSERT(e.owner == node.id && e.exclusive);
+
+    // Commit: the FLC sees the write-through store exactly as in the
+    // slow path (hit bookkeeping, or the configured miss behaviour).
+    node.flc.access(traits_.flcVirtual ? va : pa, RefType::Write);
+    node.slc.commitWriteHit(sIdx);
+    ++e.version;
+    line->version = e.version;
+    node.am.touchLine(*line);
+    page.referenced = true;
+    if (traits_.scheme != Scheme::VCOMA)
+        page.modified = true;
+    out.done = now + tm.slcHit;
+    out.local = tm.slcHit;
+    out.remote = 0;
+    out.xlat = 0;
+    out.servedBy = ServedBy::Slc;
+    if (traits_.scheme == Scheme::VCOMA)
+        ++dlbFilteredRefs;
+    return true;
+}
+
+void
+CoherenceEngine::verifyFastFilter() const
+{
+    for (std::size_t slot = 0; slot < fast_.size(); ++slot) {
+        const std::size_t cpu = slot / fastBlocksPerCpu;
+        const FastBlock &ent = fast_[slot];
+        if (ent.blockVa == FastBlock::noBlock || ent.epoch != xlatEpoch_)
+            continue;  // dead entry: fastAccess would reject it
+        const PageNum vpn = layout_.vpn(ent.blockVa);
+        const PageInfo *page = pageTable_.find(vpn);
+        if (page != ent.page) {
+            panic("fast filter: cpu ", cpu, " va ", ent.blockVa,
+                  " caches a stale page pointer");
+        }
+        if (!page || !page->resident)
+            continue;  // rejected live by fastAccess
+        if (traits_.hasPhysicalAddresses() &&
+            ent.paBase != (static_cast<VAddr>(page->frame)
+                           << layout_.pageBits())) {
+            panic("fast filter: cpu ", cpu, " va ", ent.blockVa,
+                  " caches a stale translation");
+        }
+        DirectoryPage *dp = directory_.findPage(vpn);
+        if (!dp ||
+            ent.entry != &dp->entry(layout_.dirEntryIndex(ent.blockVa))) {
+            panic("fast filter: cpu ", cpu, " va ", ent.blockVa,
+                  " caches a stale directory entry");
+        }
+        // The AM pointer is only trusted when its key still matches;
+        // when it does, it must be the authoritative line for that
+        // key.
+        if (ent.amLine && ent.amLine->key == ent.amKey &&
+            ent.amLine->valid() &&
+            ent.amLine != nodes_[cpu]->am.find(ent.amKey)) {
+            panic("fast filter: cpu ", cpu, " va ", ent.blockVa,
+                  " caches a stale AM line");
+        }
+    }
 }
 
 void
@@ -578,10 +749,10 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
     }
 
     const CacheAccess slcRes = node.slc.access(ctx.slcKey, type);
-    if (slcRes.victim) {
+    if (slcRes.hasVictim) {
         // SLC eviction: keep the FLC included and push dirty data
         // down (the write-back stream of Section 2.2.2).
-        const VAddr victimKey = *slcRes.victim;
+        const VAddr victimKey = slcRes.victim;
         const VAddr victimVa =
             traits_.slcVirtual ? victimKey : pageTable_.reverse(victimKey);
         const VAddr victimFlcBase =
@@ -771,6 +942,10 @@ CoherenceEngine::preloadPage(PageInfo &page)
 void
 CoherenceEngine::purgePage(PageNum vpn)
 {
+    // Purging reclaims the directory page (dangling entry pointers)
+    // and precedes any unmapping: advancing the epoch kills every
+    // fast-filter and page-memo entry filled before this point.
+    ++xlatEpoch_;
     PageInfo *page = pageTable_.find(vpn);
     if (!page || !page->resident)
         panic("purge of a non-resident page, vpn ", vpn);

@@ -95,6 +95,72 @@ class CoherenceEngine
     AccessResult access(CpuId cpu, RefType type, VAddr va, Tick now);
 
     /**
+     * Try to resolve the reference through the per-CPU fast filter
+     * without the full protocol walk: FLC read hits, and silent
+     * stores that hit the SLC while the node already holds the block
+     * Exclusive. On success fills @p out with exactly the result (and
+     * exactly the state/counter side effects) access() would have
+     * produced and returns true; on any doubt returns false with no
+     * state touched, and the caller falls back to access().
+     */
+    bool
+    fastAccess(CpuId cpu, RefType type, VAddr va, Tick now,
+               AccessResult &out)
+    {
+        // Inline so the kernel's per-reference loop absorbs the
+        // common FLC-read-hit probe without a cross-TU call.
+        if (!fastReads_)
+            return false;
+        const VAddr blockVa = layout_.blockAlign(va);
+        FastBlock &ent = fast_[fastSlot(cpu, blockVa)];
+        if (ent.blockVa != blockVa || ent.epoch != xlatEpoch_)
+            return false;
+        PageInfo &page = *ent.page;
+        if (!page.resident)
+            return false;
+        if (type != RefType::Read)
+            return fastWrite(cpu, va, now, ent, page, out);
+        if (!(page.protection & ProtRead))
+            return false;  // the slow path raises the fault
+        Node &node = *rawNodes_[cpu];
+        const VAddr flcKey =
+            traits_.flcVirtual ? va : ent.paBase | (va & pageMask_);
+        const std::uint32_t idx = node.flc.lookup(flcKey);
+        if (idx == Cache::npos)
+            return false;
+        // Commit: exactly the slow path's FLC-read-hit effects.
+        node.flc.commitReadHit(idx);
+        page.referenced = true;
+        const Cycles lat = cfg_.timing.flcHit;
+        out.done = now + lat;
+        out.local = lat;
+        out.remote = 0;
+        out.xlat = 0;
+        out.servedBy = ServedBy::Flc;
+        if (traits_.scheme == Scheme::VCOMA)
+            ++dlbFilteredRefs;
+        return true;
+    }
+
+    /** Is the fast filter active for this machine (config+env gate)? */
+    bool fastPathEnabled() const { return fastReads_; }
+
+    /**
+     * Is the core-speedup machinery configured on at all (config/env,
+     * before the structural scheme and check-level gates)? Controls
+     * the result-identical memoisation and batching layers that apply
+     * even where the hit filter itself cannot (e.g. L0).
+     */
+    bool fastPathConfigured() const { return fastConfigured_; }
+
+    /**
+     * Invariant sweep over the fast filter: every entry that the next
+     * fastAccess would trust must agree with the authoritative page
+     * table, directory and attraction memory. Panics on violation.
+     */
+    void verifyFastFilter() const;
+
+    /**
      * Hook fired after a remote protocol transaction commits (the
      * coherence sanitizer's on-transition trigger). It runs only at
      * the outermost access boundary: nested steps (injections,
@@ -185,6 +251,72 @@ class CoherenceEngine
         std::uint64_t blockIdx = 0;  ///< directory entry index
     };
 
+    /**
+     * One fast-filter entry: the pointers needed to replay an FLC/SLC
+     * hit without any hash lookup. Entries are never eagerly
+     * invalidated; they self-validate on use instead — the epoch
+     * guards everything a page purge can tear down (directory pages
+     * are erased, translations unmapped), and the cache/AM probes are
+     * live, so a stale entry can only miss, never lie.
+     */
+    struct FastBlock
+    {
+        static constexpr VAddr noBlock = ~VAddr{0};
+        VAddr blockVa = noBlock;  ///< AM-block-aligned VA (the key)
+        std::uint64_t epoch = 0;  ///< xlatEpoch_ at fill time
+        PageInfo *page = nullptr;
+        DirectoryEntry *entry = nullptr;
+        AmLine *amLine = nullptr; ///< this CPU's AM line, if any
+        VAddr amKey = 0;
+        VAddr paBase = 0;         ///< frame << pageBits (physical only)
+    };
+
+    /** Memoized per-page translation context for resolve()/pageFor(). */
+    struct PageCtx
+    {
+        static constexpr PageNum noVpn = ~PageNum{0};
+        PageNum vpn = noVpn;
+        std::uint64_t epoch = 0;
+        PageInfo *page = nullptr;
+        VAddr paBase = 0;
+    };
+
+    static constexpr std::size_t fastBlocksPerCpu = 512;
+    static constexpr std::size_t pageCtxSlots = 256;
+
+    std::uint64_t
+    fastIndex(VAddr blockVa) const
+    {
+        return (blockVa >> layout_.blockBits()) & (fastBlocksPerCpu - 1);
+    }
+
+    /** Slot of @p blockVa in @p cpu's stripe of the flat filter. */
+    std::size_t
+    fastSlot(CpuId cpu, VAddr blockVa) const
+    {
+        return static_cast<std::size_t>(cpu) * fastBlocksPerCpu +
+               fastIndex(blockVa);
+    }
+
+    /**
+     * Resident page of @p va through the per-page memo: one hash
+     * lookup per page until the next purge instead of two per
+     * reference. @p paBase receives frame << pageBits (0 when the
+     * machine has no physical addresses).
+     */
+    PageInfo &residentPage(VAddr va, VAddr &paBase);
+
+    /** (Re)fill the filter entry for @p va after a slow access. */
+    void fillFastEntry(CpuId cpu, VAddr va);
+
+    /**
+     * The store half of fastAccess (out-of-line: silent stores are
+     * the rarer case): commits an SLC hit on a block this node holds
+     * Exclusive, replicating the slow path's side effects exactly.
+     */
+    bool fastWrite(CpuId cpu, VAddr va, Tick now, FastBlock &ent,
+                   PageInfo &page, AccessResult &out);
+
     /** The access body; access() wraps it to fire transitionHook_. */
     AccessResult accessImpl(CpuId cpu, RefType type, VAddr va, Tick now);
 
@@ -258,6 +390,25 @@ class CoherenceEngine
     Network &network_;
     std::vector<std::unique_ptr<Node>> &nodes_;
     Rng rng_;
+    /**
+     * Translation epoch: bumped by purgePage(), the one operation
+     * that invalidates directory-entry pointers and unmaps pages.
+     * Filter/memo entries from an older epoch are dead.
+     */
+    std::uint64_t xlatEpoch_ = 0;
+    /** Core speedups (memoisation, batching) configured on at all. */
+    bool fastConfigured_ = false;
+    /** Fast filter active for reads (config+env, scheme, checkLevel). */
+    bool fastReads_ = false;
+    /** ... and for writes (additionally excludes L1's per-store TLB). */
+    bool fastWrites_ = false;
+    VAddr pageMask_ = 0;
+    /** Flat [cpu * fastBlocksPerCpu + slot]; one contiguous array
+     *  keeps the per-reference probe to a single indirection. */
+    std::vector<FastBlock> fast_;
+    /** Raw per-node pointers (skips the unique_ptr hop per probe). */
+    std::vector<Node *> rawNodes_;
+    std::vector<PageCtx> pageCtx_;
     std::function<PageNum(std::uint64_t, PageNum)> swapVictimPicker_;
     std::function<void()> transitionHook_;
     EventTracer *tracer_ = nullptr;  ///< optional, not owned

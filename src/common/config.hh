@@ -209,6 +209,14 @@ struct MachineConfig
      * when this field is 0.
      */
     Cycles watchdogCycles = 0;
+    /**
+     * Let the engine resolve FLC/SLC hits through its per-CPU fast
+     * filter instead of the full protocol walk. Strictly a simulator
+     * speed knob: results are identical either way (the equivalence
+     * suite enforces it), so it defaults on. A set VCOMA_FASTPATH
+     * environment variable overrides this field.
+     */
+    bool fastPath = true;
 
     /** Log2 of the page size. */
     unsigned pageBits() const { return exactLog2(pageBytes); }

@@ -56,6 +56,16 @@ envScaledFlag(const char *name, std::uint64_t enabledDefault)
     const char *s = std::getenv(name);
     if (!s || !*s)
         return 0;
+    // strtoull accepts a leading '-' and wraps it modulo 2^64, which
+    // would silently turn e.g. VCOMA_CHECK=-1 into a huge interval.
+    const char *p = s;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    if (*p == '-') {
+        warn(name, "='", s, "' is negative; using the default of ",
+             enabledDefault);
+        return enabledDefault;
+    }
     char *end = nullptr;
     const unsigned long long v = std::strtoull(s, &end, 10);
     if (end != s && *end == '\0')

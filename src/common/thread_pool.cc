@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -53,9 +54,15 @@ ThreadPool::defaultThreads()
     const char *s = std::getenv("VCOMA_JOBS");
     if (!s)
         return hw;
+    // strtoul accepts a leading '-' and wraps it modulo 2^32/2^64,
+    // so VCOMA_JOBS=-1 would become the 1024-worker clamp instead of
+    // an error. Treat any negative value as unparsable.
+    const char *p = s;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
     char *end = nullptr;
     const unsigned long v = std::strtoul(s, &end, 10);
-    if (end == s || *end != '\0') {
+    if (end == s || *end != '\0' || *p == '-') {
         // runAll() consults this on every batch; warn only once.
         static std::atomic<bool> warned{false};
         if (!warned.exchange(true))

@@ -12,62 +12,25 @@ Cache::Cache(std::string name, const CacheConfig &cfg)
     cfg_.validate(name_.c_str());
     blockBits_ = exactLog2(cfg_.blockBytes);
     setBits_ = exactLog2(cfg_.numSets());
-    lines_.resize(cfg_.numSets() * cfg_.assoc);
-}
-
-std::uint64_t
-Cache::setIndex(VAddr addr) const
-{
-    return bits(addr, blockBits_, setBits_);
-}
-
-VAddr
-Cache::tagOf(VAddr addr) const
-{
-    return addr >> (blockBits_ + setBits_);
-}
-
-Cache::Line *
-Cache::findLine(VAddr addr)
-{
-    const auto set = setIndex(addr);
-    const auto tag = tagOf(addr);
-    Line *base = &lines_[set * cfg_.assoc];
-    for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(VAddr addr) const
-{
-    return const_cast<Cache *>(this)->findLine(addr);
-}
-
-VAddr
-Cache::lineAddr(std::uint64_t set, const Line &line) const
-{
-    return (line.tag << (blockBits_ + setBits_)) | (set << blockBits_);
+    setMask_ = cfg_.numSets() - 1;
+    const std::size_t n = cfg_.numSets() * cfg_.assoc;
+    tags_.resize(n, 0);
+    state_.resize(n, 0);
+    lastUse_.resize(n, 0);
 }
 
 CacheAccess
 Cache::access(VAddr addr, RefType type)
 {
     CacheAccess result;
-    Line *line = findLine(addr);
+    const std::uint32_t idx = lookup(addr);
 
-    if (line) {
+    if (idx != npos) {
         result.hit = true;
-        line->lastUse = ++useClock_;
-        if (type == RefType::Read) {
-            ++readHits;
-        } else {
-            ++writeHits;
-            if (!cfg_.writeThrough)
-                line->dirty = true;
-        }
+        if (type == RefType::Read)
+            commitReadHit(idx);
+        else
+            commitWriteHit(idx);
         return result;
     }
 
@@ -83,48 +46,44 @@ Cache::access(VAddr addr, RefType type)
         return result;
 
     // Choose a victim: an invalid way if one exists, else LRU.
-    const auto set = setIndex(addr);
-    Line *base = &lines_[set * cfg_.assoc];
-    Line *victim = &base[0];
+    const std::uint64_t set = setIndex(addr);
+    const std::size_t base = set * cfg_.assoc;
+    std::size_t victim = base;
     for (unsigned w = 0; w < cfg_.assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
+        const std::size_t i = base + w;
+        if (!(state_[i] & stValid)) {
+            victim = i;
             break;
         }
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
+        if (lastUse_[i] < lastUse_[victim])
+            victim = i;
     }
 
-    if (victim->valid) {
-        result.victim = lineAddr(set, *victim);
-        result.victimDirty = victim->dirty;
-        if (victim->dirty)
+    if (state_[victim] & stValid) {
+        result.hasVictim = true;
+        result.victim = lineAddr(set, tags_[victim]);
+        result.victimDirty = (state_[victim] & stDirty) != 0;
+        if (result.victimDirty)
             ++writebacks;
     }
 
-    victim->tag = tagOf(addr);
-    victim->valid = true;
-    victim->dirty = type == RefType::Write && !cfg_.writeThrough;
-    victim->lastUse = ++useClock_;
+    tags_[victim] = tagOf(addr);
+    state_[victim] = stValid;
+    if (type == RefType::Write && !cfg_.writeThrough)
+        state_[victim] |= stDirty;
+    lastUse_[victim] = ++useClock_;
     result.allocated = true;
     return result;
 }
 
 bool
-Cache::contains(VAddr addr) const
-{
-    return findLine(addr) != nullptr;
-}
-
-bool
 Cache::invalidateBlock(VAddr addr, bool &wasDirty)
 {
-    Line *line = findLine(addr);
-    if (!line)
+    const std::uint32_t idx = lookup(addr);
+    if (idx == npos)
         return false;
-    wasDirty = line->dirty;
-    line->valid = false;
-    line->dirty = false;
+    wasDirty = (state_[idx] & stDirty) != 0;
+    state_[idx] = 0;
     ++invalidations;
     return true;
 }
@@ -150,10 +109,8 @@ Cache::invalidateRange(VAddr addr, std::uint64_t bytes,
 void
 Cache::flush()
 {
-    for (auto &line : lines_) {
-        line.valid = false;
-        line.dirty = false;
-    }
+    for (auto &st : state_)
+        st = 0;
     useClock_ = 0;
 }
 

@@ -8,13 +8,18 @@
  * tracks presence and dirtiness only — data values live in the
  * workloads — and reports evictions so the hierarchy can propagate
  * write-backs and maintain inclusion.
+ *
+ * Storage is structure-of-arrays (tags, state bits, LRU stamps in
+ * three contiguous vectors) and the probe API is index-based: the
+ * simulation fast path looks a block up once, keeps the index, and
+ * commits the hit bookkeeping separately, so the common FLC-hit case
+ * never constructs a CacheAccess or touches cold way metadata.
  */
 
 #ifndef VCOMA_MEM_CACHE_HH
 #define VCOMA_MEM_CACHE_HH
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,7 +31,7 @@
 namespace vcoma
 {
 
-/** Result of a cache access. */
+/** Result of a cache access (plain aggregate; no optional plumbing). */
 struct CacheAccess
 {
     /** Did the access hit? */
@@ -36,10 +41,12 @@ struct CacheAccess
      * with write-allocate)?
      */
     bool allocated = false;
-    /** Block-aligned address of an evicted valid victim, if any. */
-    std::optional<VAddr> victim;
+    /** A valid victim block was evicted; its address is in victim. */
+    bool hasVictim = false;
     /** The victim was dirty: it must be written back below. */
     bool victimDirty = false;
+    /** Block-aligned address of the evicted victim (if hasVictim). */
+    VAddr victim = 0;
 };
 
 /**
@@ -49,6 +56,9 @@ struct CacheAccess
 class Cache
 {
   public:
+    /** Sentinel returned by lookup() when the block is absent. */
+    static constexpr std::uint32_t npos = ~std::uint32_t{0};
+
     /**
      * @param name  diagnostic name
      * @param cfg   geometry and policies
@@ -64,8 +74,57 @@ class Cache
      */
     CacheAccess access(VAddr addr, RefType type);
 
+    /**
+     * Find the line holding @p addr: global line index (set * assoc +
+     * way), or npos. Pure probe — no LRU update, no counters.
+     */
+    std::uint32_t
+    lookup(VAddr addr) const
+    {
+        const std::uint64_t set = setIndex(addr);
+        const VAddr tag = tagOf(addr);
+        const std::size_t base = set * cfg_.assoc;
+        for (unsigned w = 0; w < cfg_.assoc; ++w) {
+            const std::size_t i = base + w;
+            if ((state_[i] & stValid) && tags_[i] == tag)
+                return static_cast<std::uint32_t>(i);
+        }
+        return npos;
+    }
+
+    /**
+     * Commit the bookkeeping of a read hit on line @p idx (from
+     * lookup): exactly the counter and LRU effects access() would
+     * have had.
+     */
+    void
+    commitReadHit(std::uint32_t idx)
+    {
+        ++readHits;
+        lastUse_[idx] = ++useClock_;
+    }
+
+    /** Commit a write hit on line @p idx (counter, LRU, dirty bit). */
+    void
+    commitWriteHit(std::uint32_t idx)
+    {
+        ++writeHits;
+        lastUse_[idx] = ++useClock_;
+        if (!cfg_.writeThrough)
+            state_[idx] |= stDirty;
+    }
+
+    /**
+     * Commit a write miss that allocates nothing (no-write-allocate
+     * policy): the counter is the only side effect access() has.
+     */
+    void commitWriteMissNoAllocate() { ++writeMisses; }
+
+    /** Is line @p idx dirty? */
+    bool dirtyAt(std::uint32_t idx) const { return state_[idx] & stDirty; }
+
     /** Presence check without LRU update or allocation. */
-    bool contains(VAddr addr) const;
+    bool contains(VAddr addr) const { return lookup(addr) != npos; }
 
     /**
      * Invalidate the block containing @p addr if present.
@@ -95,10 +154,10 @@ class Cache
     void
     forEachValid(Fn fn) const
     {
-        for (std::size_t i = 0; i < lines_.size(); ++i) {
-            const Line &line = lines_[i];
-            if (line.valid)
-                fn(lineAddr(i / cfg_.assoc, line), line.dirty);
+        for (std::size_t i = 0; i < tags_.size(); ++i) {
+            if (state_[i] & stValid)
+                fn(lineAddr(i / cfg_.assoc, tags_[i]),
+                   (state_[i] & stDirty) != 0);
         }
     }
 
@@ -149,29 +208,35 @@ class Cache
     }
 
   private:
-    struct Line
+    static constexpr std::uint8_t stValid = 1;
+    static constexpr std::uint8_t stDirty = 2;
+
+    std::uint64_t
+    setIndex(VAddr addr) const
     {
-        VAddr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lastUse = 0;
-    };
+        return (addr >> blockBits_) & setMask_;
+    }
 
-    std::uint64_t setIndex(VAddr addr) const;
-    VAddr tagOf(VAddr addr) const;
-
-    /** Find the way holding @p addr in its set, or nullptr. */
-    Line *findLine(VAddr addr);
-    const Line *findLine(VAddr addr) const;
+    VAddr tagOf(VAddr addr) const { return addr >> (blockBits_ + setBits_); }
 
     /** Reconstruct a block address from a line's tag and set. */
-    VAddr lineAddr(std::uint64_t set, const Line &line) const;
+    VAddr
+    lineAddr(std::uint64_t set, VAddr tag) const
+    {
+        return (tag << (blockBits_ + setBits_)) | (set << blockBits_);
+    }
 
     std::string name_;
     CacheConfig cfg_;
     unsigned blockBits_;
     unsigned setBits_;
-    std::vector<Line> lines_;
+    /** numSets() - 1, precomputed: setIndex is on the per-probe path. */
+    std::uint64_t setMask_;
+    /** @{ Parallel per-line arrays (structure-of-arrays layout). */
+    std::vector<VAddr> tags_;
+    std::vector<std::uint8_t> state_;
+    std::vector<std::uint64_t> lastUse_;
+    /** @} */
     std::uint64_t useClock_ = 0;
 };
 

@@ -93,6 +93,26 @@ class Generator
         return handle_.promise().current;
     }
 
+    /**
+     * Advance the coroutine and return a pointer to the next value,
+     * or nullptr when the stream is exhausted. The pointee lives in
+     * the coroutine frame and is overwritten by the following
+     * advance; the per-reference simulation loop uses this to avoid
+     * two value copies per event.
+     */
+    const T *
+    nextPtr()
+    {
+        if (!handle_ || handle_.done())
+            return nullptr;
+        handle_.resume();
+        if (handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+        if (handle_.done())
+            return nullptr;
+        return &handle_.promise().current;
+    }
+
     /** True if the coroutine can still produce values. */
     bool alive() const { return handle_ && !handle_.done(); }
 

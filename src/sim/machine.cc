@@ -133,9 +133,12 @@ Machine::run(Workload &workload)
         Tick readyAt = 0;
         bool done = false;
         CpuStats stats;
-        /** Last event issued, for diagnostic snapshots. */
-        MemRef lastRef{};
-        bool hasRef = false;
+        /**
+         * Last event issued, for diagnostic snapshots. Points into
+         * the coroutine frame's current slot, which outlives every
+         * use here (the generator is destroyed with the Proc).
+         */
+        const MemRef *lastRef = nullptr;
     };
 
     std::vector<Proc> procs(numCpus);
@@ -162,8 +165,9 @@ Machine::run(Workload &workload)
             d.readyAt = p.readyAt;
             d.done = p.done;
             d.refs = p.stats.refs;
-            d.hasLastRef = p.hasRef;
-            d.lastRef = p.lastRef;
+            d.hasLastRef = p.lastRef != nullptr;
+            if (p.lastRef)
+                d.lastRef = *p.lastRef;
             snap.cpus.push_back(d);
         }
         snap.waiters = sync.parkedWaiters();
@@ -172,11 +176,11 @@ Machine::run(Workload &workload)
         // livelocked machine.
         std::vector<VAddr> seen;
         for (const Proc &p : procs) {
-            if (p.done || !p.hasRef ||
-                p.lastRef.kind != MemRef::Kind::Mem) {
+            if (p.done || !p.lastRef ||
+                p.lastRef->kind != MemRef::Kind::Mem) {
                 continue;
             }
-            const VAddr blockVa = layout_.blockAlign(p.lastRef.vaddr);
+            const VAddr blockVa = layout_.blockAlign(p.lastRef->vaddr);
             if (std::find(seen.begin(), seen.end(), blockVa) !=
                 seen.end()) {
                 continue;
@@ -198,6 +202,18 @@ Machine::run(Workload &workload)
 
     unsigned live = numCpus;
 
+    // Batching layer of the core speedups: drain consecutive events
+    // of one CPU without heap churn. Provably order-identical, but
+    // gated with the rest of the fast-path machinery so
+    // $VCOMA_FASTPATH=0 measures the pristine event loop.
+    const bool batchEvents = engine_.fastPathConfigured();
+
+    // Loop-invariant loads the optimiser cannot hoist itself because
+    // engine_.access may alias the members through `this`.
+    const Tick watchdogCycles = watchdogCycles_;
+    const Cycles busyScale = cfg_.busyScale;
+    InvariantChecker *const checker = checker_.get();
+
     // Reference-bit decay daemon (Section 4.1): the protocol engines
     // periodically clear the page reference bits so the page daemon's
     // victim choice approximates LRU.
@@ -205,98 +221,120 @@ Machine::run(Workload &workload)
     Tick nextDecay = decayPeriod ? decayPeriod : ~Tick{0};
 
     while (!ready.empty()) {
-        const auto [when, cpu] = ready.top();
+        auto [when, cpu] = ready.top();
         ready.pop();
-
-        if (watchdogCycles_ != 0 && when > lastRetire + watchdogCycles_) {
-            throw WatchdogError(
-                detail::concat("watchdog: no memory reference retired "
-                               "in the last ",
-                               when - lastRetire, " cycles"),
-                snapshot(when));
-        }
-
-        if (when >= nextDecay) {
-            // Catch up over a long busy gap in O(1): no reference bit
-            // is set between two decay points with no intervening
-            // accesses, so the skipped sweeps would find the bits
-            // already clear. One sweep, counted once per gap crossing.
-            pageTable_.clearReferenceBits();
-            ++refBitDecays_;
-            nextDecay +=
-                ((when - nextDecay) / decayPeriod + 1) * decayPeriod;
-        }
         Proc &proc = procs[cpu];
-        VCOMA_ASSERT(!proc.done);
-        VCOMA_ASSERT(when == proc.readyAt);
 
-        auto next = proc.program.next();
-        if (!next) {
-            proc.done = true;
-            proc.stats.finish = proc.readyAt;
-            --live;
-            continue;
-        }
+        // Drain consecutive events of this CPU without re-entering
+        // the heap while it provably stays the globally next one
+        // ((readyAt, cpu) below the heap top in the heap's own
+        // lexicographic order). Memory references keep draining; sync
+        // events and completion leave the inner loop.
+        bool draining = true;
+        while (draining) {
+            draining = false;
 
-        const MemRef ref = *next;
-        proc.lastRef = ref;
-        proc.hasRef = true;
-        const Cycles work = ref.work * cfg_.busyScale;
-        Tick t = proc.readyAt + work;
-        proc.stats.busy += work;
+            if (watchdogCycles != 0 &&
+                when > lastRetire + watchdogCycles) {
+                throw WatchdogError(
+                    detail::concat("watchdog: no memory reference "
+                                   "retired in the last ",
+                                   when - lastRetire, " cycles"),
+                    snapshot(when));
+            }
 
-        switch (ref.kind) {
-          case MemRef::Kind::Mem: {
-            const AccessResult res = engine_.access(cpu, ref.type,
-                                                    ref.vaddr, t);
-            proc.stats.locStall += res.local;
-            proc.stats.remStall += res.remote;
-            proc.stats.xlatStall += res.xlat;
-            ++proc.stats.refs;
-            if (ref.type == RefType::Read)
-                ++proc.stats.reads;
-            else
-                ++proc.stats.writes;
-            proc.readyAt = res.done;
-            lastRetire = std::max(lastRetire, res.done);
-            if (checker_)
-                creditInvariantSweep(1);
-            ready.emplace(proc.readyAt, cpu);
-            break;
-          }
-          case MemRef::Kind::Barrier: {
-            auto release = sync.arriveBarrier(ref.syncId, cpu, t);
-            if (release) {
-                for (const auto &[waiter, arrived] : release->waiters) {
-                    Proc &wp = procs[waiter];
-                    wp.stats.sync += release->releaseAt - arrived;
-                    wp.readyAt = release->releaseAt;
-                    ready.emplace(wp.readyAt, waiter);
+            if (when >= nextDecay) {
+                // Catch up over a long busy gap in O(1): no reference
+                // bit is set between two decay points with no
+                // intervening accesses, so the skipped sweeps would
+                // find the bits already clear. One sweep, counted
+                // once per gap crossing.
+                pageTable_.clearReferenceBits();
+                ++refBitDecays_;
+                nextDecay +=
+                    ((when - nextDecay) / decayPeriod + 1) * decayPeriod;
+            }
+            VCOMA_ASSERT(!proc.done);
+            VCOMA_ASSERT(when == proc.readyAt);
+
+            const MemRef *next = proc.program.nextPtr();
+            if (!next) {
+                proc.done = true;
+                proc.stats.finish = proc.readyAt;
+                --live;
+                break;
+            }
+
+            const MemRef &ref = *next;
+            proc.lastRef = next;
+            const Cycles work = ref.work * busyScale;
+            Tick t = proc.readyAt + work;
+            proc.stats.busy += work;
+
+            switch (ref.kind) {
+              case MemRef::Kind::Mem: {
+                AccessResult res;
+                if (!engine_.fastAccess(cpu, ref.type, ref.vaddr, t,
+                                        res)) {
+                    res = engine_.access(cpu, ref.type, ref.vaddr, t);
                 }
-            }
-            break;
-          }
-          case MemRef::Kind::LockAcquire: {
-            auto grant = sync.acquireLock(ref.syncId, cpu, t);
-            if (grant) {
-                proc.stats.sync += *grant - t;
-                proc.readyAt = *grant;
+                proc.stats.locStall += res.local;
+                proc.stats.remStall += res.remote;
+                proc.stats.xlatStall += res.xlat;
+                ++proc.stats.refs;
+                if (ref.type == RefType::Read)
+                    ++proc.stats.reads;
+                else
+                    ++proc.stats.writes;
+                proc.readyAt = res.done;
+                lastRetire = std::max(lastRetire, res.done);
+                if (checker)
+                    creditInvariantSweep(1);
+                if (batchEvents &&
+                    (ready.empty() ||
+                     std::make_pair(proc.readyAt, cpu) < ready.top())) {
+                    when = proc.readyAt;
+                    draining = true;
+                } else {
+                    ready.emplace(proc.readyAt, cpu);
+                }
+                break;
+              }
+              case MemRef::Kind::Barrier: {
+                auto release = sync.arriveBarrier(ref.syncId, cpu, t);
+                if (release) {
+                    for (const auto &[waiter, arrived] :
+                         release->waiters) {
+                        Proc &wp = procs[waiter];
+                        wp.stats.sync += release->releaseAt - arrived;
+                        wp.readyAt = release->releaseAt;
+                        ready.emplace(wp.readyAt, waiter);
+                    }
+                }
+                break;
+              }
+              case MemRef::Kind::LockAcquire: {
+                auto grant = sync.acquireLock(ref.syncId, cpu, t);
+                if (grant) {
+                    proc.stats.sync += *grant - t;
+                    proc.readyAt = *grant;
+                    ready.emplace(proc.readyAt, cpu);
+                }
+                break;
+              }
+              case MemRef::Kind::LockRelease: {
+                auto grant = sync.releaseLock(ref.syncId, cpu, t);
+                proc.readyAt = t;
                 ready.emplace(proc.readyAt, cpu);
+                if (grant) {
+                    Proc &wp = procs[grant->cpu];
+                    wp.stats.sync += grant->grantedAt - grant->arrivedAt;
+                    wp.readyAt = grant->grantedAt;
+                    ready.emplace(wp.readyAt, grant->cpu);
+                }
+                break;
+              }
             }
-            break;
-          }
-          case MemRef::Kind::LockRelease: {
-            auto grant = sync.releaseLock(ref.syncId, cpu, t);
-            proc.readyAt = t;
-            ready.emplace(proc.readyAt, cpu);
-            if (grant) {
-                Proc &wp = procs[grant->cpu];
-                wp.stats.sync += grant->grantedAt - grant->arrivedAt;
-                wp.readyAt = grant->grantedAt;
-                ready.emplace(wp.readyAt, grant->cpu);
-            }
-            break;
-          }
         }
     }
 

@@ -72,6 +72,13 @@ class Machine
     /** Effective sanitizer interval (config or $VCOMA_CHECK); 0=off. */
     std::uint64_t invariantCheckInterval() const { return checkInterval_; }
 
+    /**
+     * Is the engine's hit fast path active for this machine (the
+     * config/$VCOMA_FASTPATH knob after the structural scheme and
+     * check-level gates)?
+     */
+    bool fastPathActive() const { return engine_.fastPathEnabled(); }
+
     /** Effective watchdog limit (config or $VCOMA_WATCHDOG); 0=off. */
     Cycles watchdogCycles() const { return watchdogCycles_; }
 

@@ -1,5 +1,6 @@
 #include "sim/run_stats_json.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,6 +24,13 @@ std::mutex statsFileMutex;
 void
 putNumber(std::ostream &os, double v)
 {
+    // RFC 8259 has no representation for inf/nan ("%.17g" would print
+    // them bare and the in-tree parser rejects the line); null is the
+    // conventional lossy stand-in.
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.17g", v);
     // Prefer a shorter form when it round-trips exactly.

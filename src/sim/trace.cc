@@ -99,54 +99,91 @@ recordTrace(Workload &workload, std::ostream &os)
 TraceWorkload::TraceWorkload(std::istream &is, std::string name)
     : name_(std::move(name))
 {
+    // Parse line-by-line so every diagnostic can carry a line number,
+    // and so garbage between or after events is an error rather than a
+    // silent end of parsing (operator>> would just stop).
     std::string line;
+    std::uint64_t lineNo = 1;
     if (!std::getline(is, line) || line != traceMagic)
         fatal("trace: bad magic (expected '", traceMagic, "')");
+
     unsigned threads = 0;
     {
-        std::string tag;
-        if (!(is >> tag >> threads) || tag != "threads" || threads == 0)
-            fatal("trace: missing thread count");
+        ++lineNo;
+        if (!std::getline(is, line))
+            fatal("trace line ", lineNo, ": missing thread count");
+        std::istringstream hs(line);
+        std::string tag, extra;
+        if (!(hs >> tag >> threads) || tag != "threads" || threads == 0)
+            fatal("trace line ", lineNo, ": missing thread count");
+        if (hs >> extra)
+            fatal("trace line ", lineNo, ": trailing garbage '", extra,
+                  "' after thread count");
     }
     perThread_.resize(threads);
 
     VAddr lo = std::numeric_limits<VAddr>::max();
     VAddr hi = 0;
-    unsigned tid = 0;
-    char kind = 0;
-    while (is >> tid >> kind) {
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;  // blank lines stay tolerated
+        std::istringstream ls(line);
+        unsigned tid = 0;
+        char kind = 0;
+        if (!(ls >> tid >> kind)) {
+            std::istringstream rs(line);
+            std::string word;
+            rs >> word;
+            if (word == "threads")
+                fatal("trace line ", lineNo,
+                      ": duplicate 'threads' header");
+            fatal("trace line ", lineNo, ": malformed event '", line,
+                  "'");
+        }
         if (tid >= threads)
-            fatal("trace: thread id ", tid, " out of range");
+            fatal("trace line ", lineNo, ": thread id ", tid,
+                  " out of range (trace declares ", threads,
+                  " threads)");
         MemRef ref;
         switch (kind) {
           case 'R':
           case 'W': {
             ref.kind = MemRef::Kind::Mem;
             ref.type = kind == 'R' ? RefType::Read : RefType::Write;
-            if (!(is >> ref.vaddr >> ref.work))
-                fatal("trace: truncated memory event");
+            if (!(ls >> ref.vaddr >> ref.work))
+                fatal("trace line ", lineNo,
+                      ": truncated memory event");
             lo = std::min(lo, ref.vaddr);
             hi = std::max(hi, ref.vaddr + 8);
             break;
           }
           case 'B':
             ref.kind = MemRef::Kind::Barrier;
-            if (!(is >> ref.syncId))
-                fatal("trace: truncated barrier event");
+            if (!(ls >> ref.syncId))
+                fatal("trace line ", lineNo,
+                      ": truncated barrier event");
             break;
           case 'L':
             ref.kind = MemRef::Kind::LockAcquire;
-            if (!(is >> ref.syncId))
-                fatal("trace: truncated lock event");
+            if (!(ls >> ref.syncId))
+                fatal("trace line ", lineNo,
+                      ": truncated lock event");
             break;
           case 'U':
             ref.kind = MemRef::Kind::LockRelease;
-            if (!(is >> ref.syncId))
-                fatal("trace: truncated unlock event");
+            if (!(ls >> ref.syncId))
+                fatal("trace line ", lineNo,
+                      ": truncated unlock event");
             break;
           default:
-            fatal("trace: unknown event kind '", kind, "'");
+            fatal("trace line ", lineNo, ": unknown event kind '",
+                  kind, "'");
         }
+        std::string extra;
+        if (ls >> extra)
+            fatal("trace line ", lineNo, ": trailing garbage '", extra,
+                  "' after event");
         perThread_[tid].push_back(ref);
     }
 

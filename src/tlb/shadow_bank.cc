@@ -17,11 +17,12 @@ ShadowBank::ShadowBank(std::uint64_t seed,
                        unsigned indexShift)
 {
     std::uint64_t n = 0;
+    members_.reserve(sizes.size() * 2);
     for (unsigned entries : sizes) {
-        members_.push_back(std::make_unique<Tlb>(
-            entries, /*assoc=*/0, seed + 31 * ++n, indexShift));
-        members_.push_back(std::make_unique<Tlb>(
-            entries, /*assoc=*/1, seed + 31 * ++n, indexShift));
+        members_.emplace_back(entries, /*assoc=*/0, seed + 31 * ++n,
+                              indexShift);
+        members_.emplace_back(entries, /*assoc=*/1, seed + 31 * ++n,
+                              indexShift);
     }
 }
 
@@ -29,15 +30,15 @@ void
 ShadowBank::access(PageNum vpn, StreamClass cls)
 {
     for (auto &tlb : members_)
-        tlb->access(vpn, cls);
+        tlb.access(vpn, cls);
 }
 
 const Tlb *
 ShadowBank::find(unsigned entries, unsigned assoc) const
 {
     for (const auto &tlb : members_) {
-        if (tlb->entries() == entries && tlb->assoc() == assoc)
-            return tlb.get();
+        if (tlb.entries() == entries && tlb.assoc() == assoc)
+            return &tlb;
     }
     return nullptr;
 }

@@ -15,7 +15,6 @@
 #define VCOMA_TLB_SHADOW_BANK_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "tlb/tlb.hh"
@@ -48,13 +47,15 @@ class ShadowBank
     /** Find the member with @p entries and associativity @p assoc. */
     const Tlb *find(unsigned entries, unsigned assoc) const;
 
-    const std::vector<std::unique_ptr<Tlb>> &members() const
-    {
-        return members_;
-    }
+    const std::vector<Tlb> &members() const { return members_; }
 
   private:
-    std::vector<std::unique_ptr<Tlb>> members_;
+    /**
+     * Flat member storage: every access() touches every member, so
+     * keeping the Tlbs contiguous (rather than behind one pointer
+     * indirection each) matters on the per-reference shadow path.
+     */
+    std::vector<Tlb> members_;
 };
 
 /**

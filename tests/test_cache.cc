@@ -57,8 +57,8 @@ TEST(Cache, WriteBackMarksDirtyAndWritesBack)
     EXPECT_FALSE(r1.hit);
     auto r2 = c.access(0x1000 + 1024, RefType::Read);
     EXPECT_FALSE(r2.hit);
-    EXPECT_TRUE(r2.victim.has_value());
-    EXPECT_EQ(*r2.victim, 0x1000u);
+    EXPECT_TRUE(r2.hasVictim);
+    EXPECT_EQ(r2.victim, 0x1000u);
     EXPECT_TRUE(r2.victimDirty);
     EXPECT_EQ(c.writebacks.value(), 1u);
 }
@@ -70,7 +70,7 @@ TEST(Cache, WriteThroughNeverDirty)
     c.access(0x1000, RefType::Write);
     c.access(0x1000 + 512, RefType::Read);
     auto r = c.access(0x1000 + 1024, RefType::Read);
-    ASSERT_TRUE(r.victim.has_value());
+    ASSERT_TRUE(r.hasVictim);
     EXPECT_FALSE(r.victimDirty);
     EXPECT_EQ(c.writebacks.value(), 0u);
 }
@@ -94,8 +94,8 @@ TEST(Cache, LruVictimSelection)
     c.access(0x0200, RefType::Read);
     c.access(0x0000, RefType::Read);  // touch A: B is now LRU
     auto r = c.access(0x0400, RefType::Read);
-    ASSERT_TRUE(r.victim.has_value());
-    EXPECT_EQ(*r.victim, 0x0200u);
+    ASSERT_TRUE(r.hasVictim);
+    EXPECT_EQ(r.victim, 0x0200u);
     EXPECT_TRUE(c.contains(0x0000));
 }
 
@@ -165,7 +165,7 @@ TEST_P(CacheProperty, CapacityNeverExceeded)
         const auto type =
             rng.below(3) == 0 ? RefType::Write : RefType::Read;
         const auto r = c.access(a, type);
-        if (r.allocated && !r.victim)
+        if (r.allocated && !r.hasVictim)
             ++resident;
         ASSERT_LE(resident, cfg.numBlocks());
     }

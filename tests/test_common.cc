@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
+#include <string>
 #include <utility>
 
 #include "common/config.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -302,5 +305,61 @@ TEST(BuilderConfigs, TinyAndBaselineValidate)
                      Scheme::VCOMA}) {
         EXPECT_NO_THROW(baselineConfig(s).validate());
         EXPECT_NO_THROW(tinyConfig(s).validate());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Environment knobs
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Scoped setenv/unsetenv that restores the prior value. */
+struct EnvGuard
+{
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            saved_ = old;
+        else
+            wasSet_ = false;
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~EnvGuard()
+    {
+        if (wasSet_)
+            ::setenv(name_, saved_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+    const char *name_;
+    std::string saved_;
+    bool wasSet_ = true;
+};
+
+} // namespace
+
+TEST(EnvScaledFlag, NegativeValuesWarnAndUseTheDefault)
+{
+    // strtoull would happily wrap "-1" to 2^64-1; the knob must not
+    // silently turn a typo into a huge interval.
+    for (const char *v : {"-1", "-250", "  -3", "-0"}) {
+        EnvGuard env("VCOMA_TEST_FLAG", v);
+        EXPECT_EQ(envScaledFlag("VCOMA_TEST_FLAG", 4096), 4096u) << v;
+    }
+    // Unchanged behaviour around the fix.
+    {
+        EnvGuard env("VCOMA_TEST_FLAG", "250");
+        EXPECT_EQ(envScaledFlag("VCOMA_TEST_FLAG", 4096), 250u);
+    }
+    {
+        EnvGuard env("VCOMA_TEST_FLAG", "0");
+        EXPECT_EQ(envScaledFlag("VCOMA_TEST_FLAG", 4096), 0u);
     }
 }

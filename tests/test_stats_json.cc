@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <utility>
@@ -173,6 +174,36 @@ TEST(StatsJson, WriterAgreesWithRunStatsAggregates)
     const JsonValue &lat = doc.at("latency");
     EXPECT_EQ(lat.at("remoteRead").at("count").asUint(),
               stats.remoteReadLatency.count);
+}
+
+TEST(StatsJson, NonFiniteNumbersSerialiseAsNull)
+{
+    // %.17g renders non-finite doubles as "inf"/"nan", which are not
+    // JSON. The writer must emit null instead so the line still
+    // parses (JSON has no non-finite literals).
+    RunStats stats;
+    stats.workload = "synthetic";
+    stats.scheme = Scheme::VCOMA;
+    stats.numNodes = 1;
+    stats.cpus.resize(1);
+    stats.pressureProfile = {
+        0.5, std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()};
+
+    std::ostringstream os;
+    writeRunStatsJson(os, stats);
+    const std::string line = os.str();
+    EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+    EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+
+    const JsonValue doc = JsonValue::parse(line);
+    const JsonValue &profile = doc.at("pressureProfile");
+    ASSERT_EQ(profile.size(), 4u);
+    EXPECT_NEAR(profile.at(0).asNumber(), 0.5, 1e-12);
+    EXPECT_TRUE(profile.at(1).isNull());
+    EXPECT_TRUE(profile.at(2).isNull());
+    EXPECT_TRUE(profile.at(3).isNull());
 }
 
 TEST(StatsJson, ExportIsGatedOnEnvVar)

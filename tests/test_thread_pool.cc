@@ -118,6 +118,21 @@ TEST(ThreadPool, DefaultThreadsHonoursVcomaJobs)
         EnvGuard env("VCOMA_JOBS", "many");
         EXPECT_EQ(ThreadPool::defaultThreads(), hw);
     }
+    {
+        // Negative counts must not wrap through strtoul into a huge
+        // worker count; they fall back like any other garbage.
+        EnvGuard env("VCOMA_JOBS", "-2");
+        EXPECT_EQ(ThreadPool::defaultThreads(), hw);
+    }
+    {
+        EnvGuard env("VCOMA_JOBS", " -16");
+        EXPECT_EQ(ThreadPool::defaultThreads(), hw);
+    }
+    {
+        // Trailing garbage after a number is rejected too.
+        EnvGuard env("VCOMA_JOBS", "4x");
+        EXPECT_EQ(ThreadPool::defaultThreads(), hw);
+    }
 }
 
 TEST(ThreadPool, ConcurrentSubmitters)

@@ -200,8 +200,8 @@ TEST(ShadowBank, FeedsAllMembers)
     bank.access(42);
     bank.access(42);
     for (const auto &tlb : bank.members()) {
-        EXPECT_EQ(tlb->demandAccesses.value(), 2u);
-        EXPECT_EQ(tlb->demandMisses.value(), 1u);
+        EXPECT_EQ(tlb.demandAccesses.value(), 2u);
+        EXPECT_EQ(tlb.demandMisses.value(), 1u);
     }
 }
 

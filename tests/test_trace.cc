@@ -125,6 +125,78 @@ TEST(Trace, RejectsMalformedInput)
     }
 }
 
+TEST(Trace, DiagnosticsCarryLineNumbersAndDetail)
+{
+    auto messageOf = [](const std::string &text) {
+        std::istringstream is(text);
+        try {
+            TraceWorkload w{is};
+        } catch (const FatalError &e) {
+            return std::string(e.what());
+        }
+        return std::string();
+    };
+
+    // Out-of-range thread ids name the line and the declared count.
+    {
+        const std::string msg =
+            messageOf("vcoma-trace-v1\nthreads 2\n0 R 100 1\n5 R 100 1\n");
+        EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("declares 2 threads"), std::string::npos)
+            << msg;
+    }
+    // A second 'threads' header is called out as such, not as a
+    // generic malformed event.
+    {
+        const std::string msg = messageOf(
+            "vcoma-trace-v1\nthreads 2\n0 R 100 1\nthreads 2\n");
+        EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("duplicate 'threads'"), std::string::npos)
+            << msg;
+    }
+    // Trailing garbage after a well-formed event is an error, not a
+    // silently ignored suffix.
+    {
+        const std::string msg = messageOf(
+            "vcoma-trace-v1\nthreads 2\n0 R 100 1 junk\n");
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("trailing garbage 'junk'"),
+                  std::string::npos)
+            << msg;
+    }
+    {
+        const std::string msg =
+            messageOf("vcoma-trace-v1\nthreads 2 extra\n");
+        EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("trailing garbage"), std::string::npos)
+            << msg;
+    }
+    // Truncated events report the line and the event family.
+    {
+        const std::string msg =
+            messageOf("vcoma-trace-v1\nthreads 2\n1 W 100\n");
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("truncated memory event"),
+                  std::string::npos)
+            << msg;
+    }
+    {
+        const std::string msg =
+            messageOf("vcoma-trace-v1\nthreads 2\n1 B\n");
+        EXPECT_NE(msg.find("truncated barrier event"),
+                  std::string::npos)
+            << msg;
+    }
+    // Blank lines are still tolerated and do not shift the numbering.
+    {
+        std::istringstream is(
+            "vcoma-trace-v1\nthreads 2\n\n0 R 100 1\n\n1 R 108 1\n");
+        TraceWorkload w{is};
+        EXPECT_EQ(w.events(0).size(), 1u);
+        EXPECT_EQ(w.events(1).size(), 1u);
+    }
+}
+
 TEST(Trace, LocksAndBarriersSurvive)
 {
     auto w = makeWorkload("OCEAN", params4());

@@ -37,6 +37,21 @@ def fail(msg):
     sys.exit(1)
 
 
+def reject_constant(token):
+    # Python's json module accepts Infinity/-Infinity/NaN by default,
+    # but RFC 8259 forbids them and the in-tree C++ parser rejects
+    # them; the writer must emit null instead.
+    raise ValueError(f"non-finite JSON constant {token!r} (RFC 8259 "
+                     "forbids it; the writer should emit null)")
+
+
+def load_json(text, where):
+    try:
+        return json.loads(text, parse_constant=reject_constant)
+    except ValueError as e:
+        fail(f"{where}: not strict JSON: {e}")
+
+
 def check_stats_line(line_no, obj):
     where = f"stats line {line_no}"
     if obj.get("schema") != 1:
@@ -97,7 +112,7 @@ def check_stats_line(line_no, obj):
 
 def check_trace(path):
     with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
+        doc = load_json(f.read(), path)
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         fail(f"{path}: no traceEvents list")
@@ -127,7 +142,7 @@ def check_bench(pattern):
         fail(f"no bench reports match {pattern!r}")
     for path in paths:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
+            doc = load_json(f.read(), path)
         for key in ("bench", "schema", "wall_ms", "executed"):
             if key not in doc:
                 fail(f"{path}: missing {key!r}")
@@ -153,10 +168,7 @@ def main():
             line = line.strip()
             if not line:
                 continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError as e:
-                fail(f"stats line {line_no}: not JSON: {e}")
+            obj = load_json(line, f"stats line {line_no}")
             check_stats_line(line_no, obj)
             lines += 1
             dlb = obj["dlb"]
