@@ -39,6 +39,21 @@ using NodeId = std::uint32_t;
 /** Identifies one simulated processor (== its node in this machine). */
 using CpuId = std::uint32_t;
 
+/**
+ * Saturating addition over the Tick/Cycles domain: a sum that would
+ * wrap pins at the maximum instead. Time comparisons (resource
+ * next-free times, scheduler deadlines) stay monotonic even when a
+ * caller hands in a near-infinite operand, so a malformed huge value
+ * can never wrap into the past.
+ */
+constexpr std::uint64_t
+saturatingAdd(std::uint64_t a, std::uint64_t b)
+{
+    return a > std::numeric_limits<std::uint64_t>::max() - b
+               ? std::numeric_limits<std::uint64_t>::max()
+               : a + b;
+}
+
 /** Sentinel for "no node". */
 constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
 

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -9,10 +11,13 @@
 #include <fstream>
 #include <future>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <unordered_set>
 
+#include "check/fault_injector.hh"
+#include "check/invariant_checker.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -28,6 +33,39 @@ namespace
 
 constexpr const char *cacheMagic = "vcoma-cache-v3";
 
+/**
+ * Poison a finished machine the way ExperimentConfig::injectFault
+ * asks: corrupt one seeded target of the named fault class, then run
+ * a full invariant sweep, which is guaranteed to throw (the injector
+ * test suite proves every class is detected). Unknown class names and
+ * machines without a suitable target also throw, so a poisoned
+ * config never silently succeeds.
+ */
+void
+applyConfiguredFault(Machine &machine, const ExperimentConfig &cfg)
+{
+    const FaultClass *match = nullptr;
+    for (const FaultClass &c : allFaultClasses()) {
+        if (cfg.injectFault == faultClassName(c)) {
+            match = &c;
+            break;
+        }
+    }
+    if (!match)
+        throw SimulationError(detail::concat(
+            "unknown injectFault class '", cfg.injectFault, "'"));
+    FaultInjector injector(machine, cfg.seed);
+    const auto what = injector.inject(*match);
+    if (!what)
+        throw SimulationError(detail::concat(
+            "injectFault '", cfg.injectFault,
+            "' found no target to corrupt"));
+    InvariantChecker(machine).enforce();
+    throw SimulationError(detail::concat(
+        "injectFault '", cfg.injectFault, "' corrupted ", *what,
+        " but the invariant sweep did not detect it"));
+}
+
 } // namespace
 
 std::string
@@ -39,6 +77,10 @@ ExperimentConfig::key() const
        << writebacksAccessTlb << "-v2_" << raytraceV2 << "-n" << nodes
        << "-s" << scale << "-r" << seed << "-k" << amAssoc << "-p"
        << xlatPenalty;
+    // Only poisoned configs carry the suffix: every key minted before
+    // fault injection existed is still minted byte-for-byte.
+    if (!injectFault.empty())
+        os << "-f" << injectFault;
     return os.str();
 }
 
@@ -52,6 +94,10 @@ Runner::Runner(std::string cacheDir) : cacheDir_(std::move(cacheDir))
                  "': caching disabled");
             cacheDir_.clear();
         }
+    }
+    if (!cacheDir_.empty()) {
+        if (const std::uint64_t maxBytes = envCacheMaxBytes())
+            pruneCache(cacheDir_, maxBytes);
     }
 }
 
@@ -86,6 +132,84 @@ Runner::envJobs()
     return ThreadPool::defaultThreads();
 }
 
+std::uint64_t
+Runner::envCacheMaxBytes()
+{
+    const char *s = std::getenv("VCOMA_CACHE_MAX_MB");
+    if (!s || !*s)
+        return 0;
+    const char *p = s;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    char *end = nullptr;
+    const unsigned long long mb = std::strtoull(p, &end, 10);
+    if (*p == '-' || end == p || *end != '\0') {
+        warn("unparsable VCOMA_CACHE_MAX_MB='", s,
+             "': cache left unbounded");
+        return 0;
+    }
+    constexpr std::uint64_t mib = 1024 * 1024;
+    if (mb > std::numeric_limits<std::uint64_t>::max() / mib)
+        return std::numeric_limits<std::uint64_t>::max();
+    return mb * mib;
+}
+
+unsigned
+Runner::pruneCache(const std::string &dir, std::uint64_t maxBytes)
+{
+    namespace fs = std::filesystem;
+    struct Entry
+    {
+        fs::file_time_type mtime;
+        std::uint64_t size;
+        fs::path path;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec) || de.path().extension() != ".txt")
+            continue;
+        const auto mtime = de.last_write_time(ec);
+        if (ec)
+            continue;
+        const std::uint64_t size = de.file_size(ec);
+        if (ec)
+            continue;
+        total += size;
+        entries.push_back({mtime, size, de.path()});
+    }
+    if (total <= maxBytes)
+        return 0;
+
+    // Newest first; path as a deterministic tie-break for equal
+    // mtimes (coarse filesystem timestamp granularity).
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime > b.mtime;
+                  return a.path < b.path;
+              });
+    unsigned removed = 0;
+    std::uint64_t kept = 0;
+    for (const Entry &e : entries) {
+        if (saturatingAdd(kept, e.size) <= maxBytes) {
+            kept += e.size;
+            continue;
+        }
+        if (fs::remove(e.path, ec))
+            ++removed;
+        else if (ec)
+            warn("cannot prune cache entry '", e.path.string(), "': ",
+                 ec.message());
+    }
+    if (removed)
+        inform("pruned ", removed, " cache entr",
+               removed == 1 ? "y" : "ies", " from '", dir,
+               "' (budget ", maxBytes, " bytes)");
+    return removed;
+}
+
 const RunStats &
 Runner::run(const ExperimentConfig &cfg)
 {
@@ -96,8 +220,10 @@ Runner::run(const ExperimentConfig &cfg)
 }
 
 const RunStats *
-Runner::tryRun(const ExperimentConfig &cfg)
+Runner::tryRun(const ExperimentConfig &cfg, bool *freshlyExecuted)
 {
+    if (freshlyExecuted)
+        *freshlyExecuted = false;
     const std::string key = cfg.key();
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -117,6 +243,8 @@ Runner::tryRun(const ExperimentConfig &cfg)
             recordFailure(cfg, key, e.what());
             return nullptr;
         }
+        if (freshlyExecuted)
+            *freshlyExecuted = true;
         if (!path.empty())
             store(path, stats);
     }
@@ -151,6 +279,14 @@ Runner::recordFailure(const ExperimentConfig &cfg, const std::string &key,
     warn("config ", key, " failed: ", error);
     std::lock_guard<std::mutex> lock(mutex_);
     failed_.emplace(key, FailedRun{cfg, key, error});
+}
+
+std::string
+Runner::failureMessage(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = failed_.find(key);
+    return it != failed_.end() ? it->second.error : "";
 }
 
 std::vector<FailedRun>
@@ -248,7 +384,10 @@ Runner::execute(const ExperimentConfig &cfg)
     try {
         Machine machine(mc);
         auto workload = makeWorkload(cfg.workload, wp);
-        return machine.run(*workload);
+        RunStats stats = machine.run(*workload);
+        if (!cfg.injectFault.empty())
+            applyConfiguredFault(machine, cfg);
+        return stats;
     } catch (const SimulationError &) {
         throw;
     } catch (const std::exception &e) {
@@ -412,10 +551,13 @@ Runner::storeOnce(const std::string &path, const RunStats &stats,
     out << "tlb " << stats.tlbAccesses << " " << stats.tlbMisses << " "
         << stats.tlbWritebackAccesses << " " << stats.tlbWritebackMisses
         << "\n";
-    out << "pressure";
+    // 17 significant digits round-trip any double exactly, so a sheet
+    // reloaded from disk is bit-identical to the one simulated (the
+    // service's byte-exact replies depend on it).
+    out << "pressure" << std::setprecision(17);
     for (double v : stats.pressureProfile)
         out << " " << v;
-    out << "\n";
+    out << std::setprecision(6) << "\n";
     out << "caches " << stats.flcAccesses << " " << stats.flcMisses
         << " " << stats.slcAccesses << " " << stats.slcMisses << " "
         << stats.amHits << " " << stats.amMisses << "\n";

@@ -61,6 +61,16 @@ struct ExperimentConfig
     unsigned amAssoc = 4;
     /** TLB/DLB miss service time (ablations; paper uses 40). */
     Cycles xlatPenalty = 40;
+    /**
+     * Name of a FaultClass to inject after the run (see
+     * check/fault_injector.hh), empty for a normal simulation. A
+     * poisoned config deterministically corrupts coherence state and
+     * fails its invariant sweep, so failure paths (graceful runAll
+     * sweeps, the service's per-job error replies) can be exercised
+     * end to end. Appears in key() only when set, so ordinary cache
+     * keys are unchanged.
+     */
+    std::string injectFault;
 
     /** Stable cache key. */
     std::string key() const;
@@ -107,8 +117,13 @@ class Runner
     /**
      * Like run(), but returns nullptr instead of throwing when the
      * simulation fails; the failure is recorded in failures().
+     *
+     * When @p freshlyExecuted is non-null it is set to true iff this
+     * call actually simulated (a miss in both the memo and the disk
+     * cache) — the service layer's cache-hit accounting.
      */
-    const RunStats *tryRun(const ExperimentConfig &cfg);
+    const RunStats *tryRun(const ExperimentConfig &cfg,
+                           bool *freshlyExecuted = nullptr);
 
     /**
      * Run a batch: configs not already memoised or on disk execute
@@ -128,6 +143,9 @@ class Runner
     /** Every failed config recorded so far, in key order. */
     std::vector<FailedRun> failures() const;
 
+    /** Recorded failure text for @p key, or empty when none. */
+    std::string failureMessage(const std::string &key) const;
+
     /** Problem scale from $VCOMA_SCALE (default 1.0). */
     static double envScale();
 
@@ -136,6 +154,20 @@ class Runner
 
     /** runAll() worker count: $VCOMA_JOBS, or one per hardware thread. */
     static unsigned envJobs();
+
+    /** Disk-cache budget from $VCOMA_CACHE_MAX_MB in bytes; 0 = unlimited. */
+    static std::uint64_t envCacheMaxBytes();
+
+    /**
+     * Delete the oldest-mtime cache entries (*.txt files) in @p dir
+     * until the survivors fit in @p maxBytes. Files that are not
+     * cache entries — subdirectories, in-flight *.tmp.* stagings,
+     * anything a user dropped in the directory — are never touched.
+     * Runs at Runner construction when $VCOMA_CACHE_MAX_MB is set.
+     * @return the number of entries removed.
+     */
+    static unsigned pruneCache(const std::string &dir,
+                               std::uint64_t maxBytes);
 
     /** Simulations actually executed (not served from cache). */
     unsigned executed() const { return executed_.load(); }

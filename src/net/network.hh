@@ -38,7 +38,9 @@ class Resource
     acquire(Tick t, Cycles occupancy)
     {
         const Tick start = std::max(t, freeAt_);
-        freeAt_ = start + occupancy;
+        // Saturate: a wrapped freeAt_ would place the reservation in
+        // the distant past and grant every later acquire for free.
+        freeAt_ = saturatingAdd(start, occupancy);
         return start;
     }
 

@@ -1,0 +1,183 @@
+#include "service/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "service/wire.hh"
+
+namespace vcoma
+{
+
+ServiceClient::ServiceClient(const std::string &socketPath, int timeoutMs)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path))
+        fatal("socket path '", socketPath, "' exceeds the ",
+              sizeof(addr.sun_path) - 1, "-byte AF_UNIX limit");
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeoutMs);
+    int lastErr = 0;
+    for (;;) {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            fatal("cannot create socket: ", std::strerror(errno));
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return;
+        lastErr = errno;
+        ::close(fd_);
+        fd_ = -1;
+        if (std::chrono::steady_clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    fatal("cannot connect to '", socketPath,
+          "': ", std::strerror(lastErr));
+}
+
+ServiceClient::~ServiceClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+ServiceClient::sendAll(const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t sent = ::send(fd_, data.data() + off,
+                                    data.size() - off, MSG_NOSIGNAL);
+        if (sent <= 0)
+            fatal("service connection lost while sending: ",
+                  std::strerror(errno));
+        off += static_cast<std::size_t>(sent);
+    }
+}
+
+std::string
+ServiceClient::recvLine()
+{
+    for (;;) {
+        const std::size_t nl = pending_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = pending_.substr(0, nl);
+            pending_.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (got <= 0)
+            fatal("service connection closed mid-reply");
+        pending_.append(chunk, static_cast<std::size_t>(got));
+    }
+}
+
+std::string
+ServiceClient::request(const std::string &line)
+{
+    sendAll(line + "\n");
+    return recvLine();
+}
+
+bool
+ServiceClient::ping()
+{
+    const JsonValue v = JsonValue::parse(request("{\"op\":\"ping\"}"));
+    const JsonValue *pong = v.find("pong");
+    return pong && pong->isBool() && pong->asBool();
+}
+
+ServiceClient::Outcome
+ServiceClient::outcomeFromReply(const JsonValue &v)
+{
+    Outcome out;
+    const JsonValue *ok = v.find("ok");
+    out.ok = ok && ok->isBool() && ok->asBool();
+    if (const JsonValue *shed = v.find("shed"))
+        out.shed = shed->isBool() && shed->asBool();
+    if (const JsonValue *cached = v.find("cached"))
+        out.cached = cached->isBool() && cached->asBool();
+    if (out.ok) {
+        const JsonValue *stats = v.find("stats");
+        if (!stats || !stats->isString())
+            throw WireError("ok reply without a stats string");
+        out.statsJson = stats->asString();
+    } else if (const JsonValue *err = v.find("error")) {
+        out.error = err->isString() ? err->asString()
+                                    : "malformed error reply";
+    } else {
+        out.error = "malformed reply";
+    }
+    return out;
+}
+
+ServiceClient::Outcome
+ServiceClient::run(const ExperimentConfig &cfg, int priority,
+                   std::uint64_t deadlineMs)
+{
+    std::ostringstream os;
+    os << "{\"op\":\"run\",\"priority\":" << priority
+       << ",\"deadlineMs\":" << deadlineMs << ",\"config\":";
+    writeConfigJson(os, cfg);
+    os << "}";
+    return outcomeFromReply(JsonValue::parse(request(os.str())));
+}
+
+std::vector<ServiceClient::Outcome>
+ServiceClient::batch(std::span<const ExperimentConfig> cfgs,
+                     int priority, std::uint64_t deadlineMs)
+{
+    std::ostringstream os;
+    os << "{\"op\":\"batch\",\"priority\":" << priority
+       << ",\"deadlineMs\":" << deadlineMs << ",\"configs\":[";
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        if (i)
+            os << ",";
+        writeConfigJson(os, cfgs[i]);
+    }
+    os << "]}";
+    const JsonValue v = JsonValue::parse(request(os.str()));
+    const JsonValue *ok = v.find("ok");
+    if (!ok || !ok->isBool() || !ok->asBool()) {
+        const JsonValue *err = v.find("error");
+        fatal("batch rejected: ",
+              err && err->isString() ? err->asString() : "unknown");
+    }
+    const JsonValue &results = v.at("results");
+    std::vector<Outcome> out;
+    out.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        out.push_back(outcomeFromReply(results.at(i)));
+    return out;
+}
+
+std::string
+ServiceClient::statsLine()
+{
+    return request("{\"op\":\"stats\"}");
+}
+
+bool
+ServiceClient::shutdown()
+{
+    const JsonValue v =
+        JsonValue::parse(request("{\"op\":\"shutdown\"}"));
+    const JsonValue *ok = v.find("ok");
+    return ok && ok->isBool() && ok->asBool();
+}
+
+} // namespace vcoma

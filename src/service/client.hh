@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Client side of the simulation service: connects to a vcoma_served
+ * Unix-domain socket, frames line-delimited JSON requests, and
+ * unpacks replies. Used by the vcoma_client CLI and by the service
+ * tests; one ServiceClient is one connection (not thread-safe —
+ * concurrent callers each open their own).
+ */
+
+#ifndef VCOMA_SERVICE_CLIENT_HH
+#define VCOMA_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace vcoma
+{
+
+class JsonValue;
+
+class ServiceClient
+{
+  public:
+    /** Outcome of one job as the service reported it. */
+    struct Outcome
+    {
+        bool ok = false;
+        /** Rejected/cancelled without running (backpressure). */
+        bool shed = false;
+        /** Served without a fresh simulation. */
+        bool cached = false;
+        /** Exact writeRunStatsJson() bytes of the sheet (ok only). */
+        std::string statsJson;
+        std::string error;
+    };
+
+    /**
+     * Connect to @p socketPath, retrying until @p timeoutMs elapses
+     * (a daemon that is still binding its socket wins the race).
+     * Throws FatalError when the deadline passes.
+     */
+    ServiceClient(const std::string &socketPath, int timeoutMs = 5000);
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Round-trip a raw request line; returns the raw reply line. */
+    std::string request(const std::string &line);
+
+    /** {"op":"ping"} — true iff the daemon answered pong. */
+    bool ping();
+
+    /** Submit one config and wait for its result. */
+    Outcome run(const ExperimentConfig &cfg, int priority = 0,
+                std::uint64_t deadlineMs = 0);
+
+    /** Submit a batch; results come back in submission order. */
+    std::vector<Outcome> batch(std::span<const ExperimentConfig> cfgs,
+                               int priority = 0,
+                               std::uint64_t deadlineMs = 0);
+
+    /** Raw {"op":"stats"} reply line (JSON with "serviceStats"). */
+    std::string statsLine();
+
+    /** Ask the daemon to drain and exit; true on acknowledgement. */
+    bool shutdown();
+
+  private:
+    std::string recvLine();
+    void sendAll(const std::string &data);
+    static Outcome outcomeFromReply(const JsonValue &v);
+
+    int fd_ = -1;
+    std::string pending_;  ///< bytes received past the last newline
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_SERVICE_CLIENT_HH

@@ -1,0 +1,305 @@
+#include "service/scheduler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+/** Ring size for the percentile estimates: recent-window quantiles. */
+constexpr std::size_t latencyWindow = 4096;
+
+/** Nearest-rank percentile of an unsorted sample copy. */
+double
+percentile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(q * static_cast<double>(samples.size()))));
+    return samples[rank - 1];
+}
+
+} // namespace
+
+void
+writeSchedulerStatsJson(std::ostream &os, const SchedulerStats &s)
+{
+    os << "{\"schema\":1"
+       << ",\"queueDepth\":" << s.queueDepth
+       << ",\"queueCapacity\":" << s.queueCapacity
+       << ",\"workers\":" << s.workers
+       << ",\"jobsSubmitted\":" << s.submitted
+       << ",\"jobsServed\":" << s.served
+       << ",\"jobsFailed\":" << s.failed
+       << ",\"jobsShed\":" << s.shed()
+       << ",\"shedQueueFull\":" << s.shedQueueFull
+       << ",\"shedDeadline\":" << s.shedDeadline
+       << ",\"jobsCancelled\":" << s.cancelled
+       << ",\"dedupJoins\":" << s.dedupJoins
+       << ",\"cacheHits\":" << s.cacheHits
+       << ",\"simulationsExecuted\":" << s.executed
+       << ",\"latencyMs\":{\"count\":" << s.latencyMs.count
+       << ",\"sum\":" << s.latencyMs.sum
+       << ",\"min\":" << s.latencyMs.min
+       << ",\"max\":" << s.latencyMs.max
+       << ",\"mean\":" << s.latencyMs.mean()
+       << ",\"p50\":" << s.latencyP50Ms
+       << ",\"p90\":" << s.latencyP90Ms
+       << ",\"p99\":" << s.latencyP99Ms << "}}";
+}
+
+Scheduler::Scheduler(Runner &runner, std::size_t capacity,
+                     unsigned workers)
+    : runner_(runner), capacity_(capacity)
+{
+    const unsigned n = workers ? workers : Runner::envJobs();
+    workers_.reserve(std::max(1u, n));
+    for (unsigned i = 0; i < std::max(1u, n); ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+std::uint64_t
+Scheduler::nowMs()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+Scheduler::Submission
+Scheduler::submit(const JobRequest &req)
+{
+    Submission out;
+    const std::string key = req.config.key();
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    if (draining_) {
+        ++shedQueueFull_;
+        out.rejection = "service is draining";
+        return out;
+    }
+
+    // Dedup first: joining an in-flight run costs no queue slot, so a
+    // popular config can always fan out even through a full queue.
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+        ++dedupJoins_;
+        out.future = it->second->future;
+        out.deduplicated = true;
+        return out;
+    }
+
+    if (queue_.size() >= capacity_) {
+        ++shedQueueFull_;
+        out.rejection = detail::concat(
+            "queue full: depth ", queue_.size(), " >= capacity ",
+            capacity_);
+        return out;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->req = req;
+    job->key = key;
+    job->seq = nextSeq_++;
+    job->submitMs = nowMs();
+    job->deadlineAtMs =
+        req.deadlineMs
+            ? saturatingAdd(job->submitMs, req.deadlineMs)
+            : std::numeric_limits<std::uint64_t>::max();
+    job->future = job->promise.get_future().share();
+    queue_.push_back(job);
+    inflight_.emplace(key, job);
+    ++submitted_;
+    out.future = job->future;
+    workCv_.notify_one();
+    return out;
+}
+
+std::shared_ptr<Scheduler::Job>
+Scheduler::popLocked()
+{
+    // Highest priority first, FIFO within a priority. The queue is
+    // admission-bounded, so a linear scan is cheaper than keeping an
+    // ordered structure coherent with cancellation.
+    auto best = queue_.begin();
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+        if ((*it)->req.priority > (*best)->req.priority ||
+            ((*it)->req.priority == (*best)->req.priority &&
+             (*it)->seq < (*best)->seq))
+            best = it;
+    }
+    std::shared_ptr<Job> job = *best;
+    queue_.erase(best);
+    return job;
+}
+
+void
+Scheduler::resolve(const std::shared_ptr<Job> &job, JobResult result)
+{
+    // Latency covers admitted jobs that reached a verdict through a
+    // worker (Done/Failed); shed and cancelled jobs never ran.
+    if (result.status == JobStatus::Done ||
+        result.status == JobStatus::Failed) {
+        const double ms = static_cast<double>(nowMs() - job->submitMs);
+        latencyMs_.sample(ms);
+        if (latencyRing_.size() < latencyWindow) {
+            latencyRing_.push_back(ms);
+        } else {
+            latencyRing_[latencyRingNext_] = ms;
+            latencyRingNext_ = (latencyRingNext_ + 1) % latencyWindow;
+        }
+    }
+    switch (result.status) {
+      case JobStatus::Done:
+        ++served_;
+        if (result.cached)
+            ++cacheHits_;
+        break;
+      case JobStatus::Failed: ++failed_; break;
+      case JobStatus::Shed: ++shedDeadline_; break;
+      case JobStatus::Cancelled: ++cancelled_; break;
+    }
+    inflight_.erase(job->key);
+    job->promise.set_value(std::move(result));
+}
+
+void
+Scheduler::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workCv_.wait(lock, [this] {
+            return stopping_ || !queue_.empty();
+        });
+        if (stopping_ && queue_.empty())
+            return;
+        std::shared_ptr<Job> job = popLocked();
+
+        if (job->cancelled) {
+            JobResult r;
+            r.status = JobStatus::Cancelled;
+            r.error = "cancelled while queued";
+            resolve(job, std::move(r));
+            idleCv_.notify_all();
+            continue;
+        }
+        if (nowMs() > job->deadlineAtMs) {
+            JobResult r;
+            r.status = JobStatus::Shed;
+            r.error = detail::concat(
+                "deadline of ", job->req.deadlineMs,
+                " ms passed while queued");
+            resolve(job, std::move(r));
+            idleCv_.notify_all();
+            continue;
+        }
+
+        ++executing_;
+        lock.unlock();
+        bool fresh = false;
+        const RunStats *stats =
+            runner_.tryRun(job->req.config, &fresh);
+        JobResult r;
+        if (stats) {
+            r.status = JobStatus::Done;
+            r.stats = stats;
+            r.cached = !fresh;
+        } else {
+            r.status = JobStatus::Failed;
+            r.error = runner_.failureMessage(job->key);
+            if (r.error.empty())
+                r.error = "simulation failed";
+        }
+        lock.lock();
+        --executing_;
+        resolve(job, std::move(r));
+        idleCv_.notify_all();
+    }
+}
+
+unsigned
+Scheduler::cancel(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    unsigned n = 0;
+    for (const auto &job : queue_) {
+        if (job->key == key && !job->cancelled) {
+            job->cancelled = true;
+            ++n;
+        }
+    }
+    // The workers resolve cancelled jobs as they pop them; waking one
+    // per cancellation keeps the futures from lingering until the
+    // next real job arrives.
+    if (n)
+        workCv_.notify_all();
+    return n;
+}
+
+void
+Scheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    idleCv_.wait(lock, [this] {
+        return queue_.empty() && executing_ == 0;
+    });
+}
+
+std::size_t
+Scheduler::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+SchedulerStats
+Scheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SchedulerStats s;
+    s.queueDepth = queue_.size();
+    s.queueCapacity = capacity_;
+    s.workers = static_cast<unsigned>(workers_.size());
+    s.submitted = submitted_;
+    s.served = served_;
+    s.failed = failed_;
+    s.shedQueueFull = shedQueueFull_;
+    s.shedDeadline = shedDeadline_;
+    s.cancelled = cancelled_;
+    s.dedupJoins = dedupJoins_;
+    s.cacheHits = cacheHits_;
+    s.executed = runner_.executed();
+    s.latencyMs = DistSummary::of(latencyMs_);
+    s.latencyP50Ms = percentile(latencyRing_, 0.50);
+    s.latencyP90Ms = percentile(latencyRing_, 0.90);
+    s.latencyP99Ms = percentile(latencyRing_, 0.99);
+    return s;
+}
+
+} // namespace vcoma

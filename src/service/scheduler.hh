@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The simulation service's job scheduler: a bounded priority/FIFO
+ * queue in front of one shared Runner.
+ *
+ *  - Admission control: a submit that would push the queue past its
+ *    capacity is rejected immediately with a backpressure message —
+ *    the caller sheds load instead of hanging.
+ *  - Deduplication: identical in-flight configs collapse onto one
+ *    job; every waiter shares the same future, so one simulation fans
+ *    out to all of them (the paper's DLB sharing/prefetching argument
+ *    replayed at the service layer). Dedup joins bypass admission —
+ *    they add no queue entry.
+ *  - Deadlines: a job still queued past its deadline is shed when a
+ *    worker pops it. Deadline arithmetic saturates (saturatingAdd),
+ *    so a malformed huge deadline pins at "never" instead of wrapping
+ *    into the past.
+ *  - Cancellation: queued jobs can be cancelled by config key; a job
+ *    already executing runs to completion (a simulation is atomic —
+ *    its result still warms the cache) and cancellation resolves the
+ *    waiters, not the run.
+ *  - Graceful drain: drain() stops admission, lets every queued job
+ *    finish, then parks the workers. The destructor drains.
+ *
+ * Thread safety: every public method may be called from any thread.
+ */
+
+#ifndef VCOMA_SERVICE_SCHEDULER_HH
+#define VCOMA_SERVICE_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hh"
+#include "harness/runner.hh"
+
+namespace vcoma
+{
+
+/** One job request as admitted from the wire. */
+struct JobRequest
+{
+    ExperimentConfig config;
+    /** Larger runs first among queued jobs; FIFO within a priority. */
+    int priority = 0;
+    /** Shed if still queued this many ms after submit; 0 = none. */
+    std::uint64_t deadlineMs = 0;
+};
+
+/** Terminal state of one job. */
+enum class JobStatus : std::uint8_t
+{
+    Done,      ///< stats is valid
+    Failed,    ///< the simulation failed; error holds the reason
+    Shed,      ///< never ran: queue full or deadline passed
+    Cancelled, ///< never ran: cancelled while queued
+};
+
+/** What a waiter receives. */
+struct JobResult
+{
+    JobStatus status = JobStatus::Failed;
+    /** Valid for the Runner's lifetime when status == Done. */
+    const RunStats *stats = nullptr;
+    std::string error;
+    /** Done without a fresh simulation (memo/disk cache). */
+    bool cached = false;
+};
+
+/** A snapshot of the service counters for the /stats reply. */
+struct SchedulerStats
+{
+    std::size_t queueDepth = 0;
+    std::size_t queueCapacity = 0;
+    unsigned workers = 0;
+    std::uint64_t submitted = 0;    ///< admitted jobs (dedup joins excluded)
+    std::uint64_t served = 0;       ///< jobs resolved Done
+    std::uint64_t failed = 0;       ///< jobs resolved Failed
+    std::uint64_t shedQueueFull = 0;
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t dedupJoins = 0;   ///< submits that joined an in-flight job
+    std::uint64_t cacheHits = 0;    ///< Done jobs served without simulating
+    std::uint64_t executed = 0;     ///< Runner::executed() at snapshot time
+    /** Submit-to-resolve wall latency of Done/Failed jobs, in ms. */
+    DistSummary latencyMs;
+    double latencyP50Ms = 0.0;
+    double latencyP90Ms = 0.0;
+    double latencyP99Ms = 0.0;
+
+    std::uint64_t shed() const { return shedQueueFull + shedDeadline; }
+};
+
+/** Serialise a snapshot as one JSON object (no trailing newline). */
+void writeSchedulerStatsJson(std::ostream &os, const SchedulerStats &s);
+
+class Scheduler
+{
+  public:
+    /** Outcome of submit(): either a shared future or a rejection. */
+    struct Submission
+    {
+        /** Valid iff the job was admitted (or joined). */
+        std::shared_future<JobResult> future;
+        /** This submit joined an already in-flight identical config. */
+        bool deduplicated = false;
+        /** Non-empty iff rejected at admission (backpressure). */
+        std::string rejection;
+
+        bool accepted() const { return rejection.empty(); }
+    };
+
+    /**
+     * @param runner   shared runner (owns the warm caches)
+     * @param capacity max queued (not yet executing) jobs
+     * @param workers  executor threads; 0 = Runner::envJobs()
+     */
+    Scheduler(Runner &runner, std::size_t capacity, unsigned workers = 0);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Admit, join, or reject @p req (never blocks on the queue). */
+    Submission submit(const JobRequest &req);
+
+    /**
+     * Cancel every *queued* job whose config key is @p key; their
+     * waiters resolve with JobStatus::Cancelled.
+     * @return the number of jobs cancelled.
+     */
+    unsigned cancel(const std::string &key);
+
+    /**
+     * Stop admitting, run every queued job to completion, park the
+     * workers. Idempotent; submit() after drain() rejects.
+     */
+    void drain();
+
+    /** Queued (not yet popped) jobs right now. */
+    std::size_t depth() const;
+
+    /** Counter snapshot (consistent under one lock). */
+    SchedulerStats stats() const;
+
+  private:
+    struct Job
+    {
+        JobRequest req;
+        std::string key;
+        std::uint64_t seq = 0;
+        std::uint64_t submitMs = 0;
+        std::uint64_t deadlineAtMs = 0; ///< saturated absolute deadline
+        bool cancelled = false;
+        std::promise<JobResult> promise;
+        std::shared_future<JobResult> future;
+    };
+
+    void workerLoop();
+    /** Pop the best queued job; caller holds the lock. */
+    std::shared_ptr<Job> popLocked();
+    void resolve(const std::shared_ptr<Job> &job, JobResult result);
+    static std::uint64_t nowMs();
+
+    Runner &runner_;
+    const std::size_t capacity_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_;  ///< workers wait for jobs
+    std::condition_variable idleCv_;  ///< drain waits for quiescence
+    std::deque<std::shared_ptr<Job>> queue_;
+    /** Queued or executing job per config key (dedup target). */
+    std::map<std::string, std::shared_ptr<Job>> inflight_;
+    std::vector<std::thread> workers_;
+    unsigned executing_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    bool draining_ = false;
+    bool stopping_ = false;
+
+    /** @{ @name Counters (guarded by mutex_) */
+    std::uint64_t submitted_ = 0;
+    std::uint64_t served_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t shedQueueFull_ = 0;
+    std::uint64_t shedDeadline_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t dedupJoins_ = 0;
+    std::uint64_t cacheHits_ = 0;
+    Distribution latencyMs_;
+    /** Ring of recent latencies for the percentile estimates. */
+    std::vector<double> latencyRing_;
+    std::size_t latencyRingNext_ = 0;
+    /** @} */
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_SERVICE_SCHEDULER_HH

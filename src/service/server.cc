@@ -1,0 +1,353 @@
+#include "service/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "service/wire.hh"
+#include "sim/run_stats_json.hh"
+
+namespace vcoma
+{
+
+namespace
+{
+
+/** One reply line: {"ok":false,"error":...} (+ backpressure marker). */
+std::string
+errorReply(const std::string &message, bool shed = false)
+{
+    std::ostringstream os;
+    os << "{\"ok\":false";
+    if (shed)
+        os << ",\"shed\":true";
+    os << ",\"error\":\"" << jsonEscape(message) << "\"}";
+    return os.str();
+}
+
+/** The reply fragment for one resolved job (run and batch share it). */
+void
+writeJobReply(std::ostream &os, const JobResult &r)
+{
+    switch (r.status) {
+      case JobStatus::Done: {
+        os << "{\"ok\":true,\"cached\":" << (r.cached ? "true" : "false")
+           << ",\"stats\":\"";
+        std::ostringstream sheet;
+        writeRunStatsJson(sheet, *r.stats);
+        os << jsonEscape(sheet.str()) << "\"}";
+        return;
+      }
+      case JobStatus::Failed:
+        os << errorReply(r.error);
+        return;
+      case JobStatus::Shed:
+      case JobStatus::Cancelled:
+        os << errorReply(r.error, /*shed=*/true);
+        return;
+    }
+    os << errorReply("internal: unhandled job status");
+}
+
+} // namespace
+
+ServiceServer::ServiceServer(Runner &runner, ServiceConfig cfg)
+    : runner_(runner), cfg_(std::move(cfg)),
+      scheduler_(runner_, cfg_.queueCapacity, cfg_.workers)
+{
+}
+
+ServiceServer::~ServiceServer()
+{
+    requestStop();
+    waitUntilStopped();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    joinFinishedHandlers();
+}
+
+void
+ServiceServer::start()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socketPath.size() >= sizeof(addr.sun_path))
+        fatal("socket path '", cfg_.socketPath, "' exceeds the ",
+              sizeof(addr.sun_path) - 1, "-byte AF_UNIX limit");
+    std::strncpy(addr.sun_path, cfg_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("cannot create socket: ", std::strerror(errno));
+    // A previous daemon that died without cleanup leaves the socket
+    // file behind; a fresh bind needs the path free.
+    ::unlink(cfg_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatal("cannot bind '", cfg_.socketPath,
+              "': ", std::strerror(err));
+    }
+    if (::listen(listenFd_, 64) < 0) {
+        const int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatal("cannot listen on '", cfg_.socketPath,
+              "': ", std::strerror(err));
+    }
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+ServiceServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int n = ::poll(&pfd, 1, 200);
+        if (n < 0 && errno != EINTR)
+            break;
+        if (n <= 0 || !(pfd.revents & POLLIN))
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(handlersMutex_);
+        handlers_.emplace_back([this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+ServiceServer::serveConnection(int fd)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool overlong = false;
+    while (!stopping_.load()) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int n = ::poll(&pfd, 1, 200);
+        if (n < 0 && errno != EINTR)
+            break;
+        if (n <= 0)
+            continue;
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got <= 0)
+            break;
+        buffer.append(chunk, static_cast<std::size_t>(got));
+
+        std::size_t start = 0;
+        std::size_t nl;
+        bool closing = false;
+        while ((nl = buffer.find('\n', start)) != std::string::npos) {
+            std::string line = buffer.substr(start, nl - start);
+            start = nl + 1;
+            std::string reply;
+            if (overlong) {
+                reply = errorReply("request line too long");
+                overlong = false;
+            } else {
+                reply = handleRequestLine(line);
+            }
+            reply.push_back('\n');
+            std::size_t off = 0;
+            while (off < reply.size()) {
+                const ssize_t sent = ::send(fd, reply.data() + off,
+                                            reply.size() - off,
+                                            MSG_NOSIGNAL);
+                if (sent <= 0) {
+                    closing = true;
+                    break;
+                }
+                off += static_cast<std::size_t>(sent);
+            }
+            if (closing)
+                break;
+        }
+        buffer.erase(0, start);
+        if (closing)
+            break;
+        if (buffer.size() > cfg_.maxLineBytes) {
+            // Drop the oversized prefix but keep the connection: the
+            // client gets an explicit error once its newline arrives.
+            buffer.clear();
+            overlong = true;
+        }
+    }
+    ::close(fd);
+}
+
+std::string
+ServiceServer::handleRequestLine(const std::string &line)
+{
+    JsonValue req;
+    try {
+        req = JsonValue::parse(line);
+    } catch (const JsonError &e) {
+        return errorReply(std::string("bad request JSON: ") + e.what());
+    }
+    if (!req.isObject())
+        return errorReply("request must be a JSON object");
+    const JsonValue *opv = req.find("op");
+    if (!opv || !opv->isString())
+        return errorReply("request needs a string \"op\"");
+    const std::string &op = opv->asString();
+
+    try {
+        if (op == "ping") {
+            std::ostringstream os;
+            os << "{\"ok\":true,\"pong\":true,\"protocol\":"
+               << wireProtocolVersion << "}";
+            return os.str();
+        }
+
+        if (op == "stats") {
+            std::ostringstream os;
+            os << "{\"ok\":true,\"serviceStats\":";
+            writeSchedulerStatsJson(os, scheduler_.stats());
+            os << "}";
+            return os.str();
+        }
+
+        if (op == "cancel") {
+            const JsonValue *keyv = req.find("key");
+            if (!keyv || !keyv->isString())
+                return errorReply("cancel needs a string \"key\"");
+            const unsigned n = scheduler_.cancel(keyv->asString());
+            std::ostringstream os;
+            os << "{\"ok\":true,\"cancelled\":" << n << "}";
+            return os.str();
+        }
+
+        if (op == "shutdown") {
+            // Reply first; the stop (drain + exit) happens after this
+            // response is on the wire, from a separate thread so the
+            // connection handler is not joined from inside itself.
+            // The thread is kept joinable — waitUntilStopped() joins
+            // it, so it can never outlive the server and touch freed
+            // members (a detached thread could still be inside
+            // requestStop()'s notify while the server is destroyed).
+            std::lock_guard<std::mutex> lock(stopThreadMutex_);
+            if (!stopping_.load() && !stopThread_.joinable())
+                stopThread_ = std::thread([this] { requestStop(); });
+            return "{\"ok\":true,\"draining\":true}";
+        }
+
+        int priority = 0;
+        std::uint64_t deadlineMs = 0;
+        if (const JsonValue *p = req.find("priority"))
+            priority = static_cast<int>(p->asNumber());
+        if (const JsonValue *d = req.find("deadlineMs"))
+            deadlineMs = d->asUint();
+
+        if (op == "run") {
+            const JsonValue *cfgv = req.find("config");
+            if (!cfgv)
+                return errorReply("run needs a \"config\" object");
+            JobRequest jr{configFromJson(*cfgv), priority, deadlineMs};
+            Scheduler::Submission sub = scheduler_.submit(jr);
+            if (!sub.accepted())
+                return errorReply(sub.rejection, /*shed=*/true);
+            std::ostringstream os;
+            writeJobReply(os, sub.future.get());
+            return os.str();
+        }
+
+        if (op == "batch") {
+            const JsonValue *cfgsv = req.find("configs");
+            if (!cfgsv || !cfgsv->isArray())
+                return errorReply("batch needs a \"configs\" array");
+            // Admit everything up front so the batch occupies the
+            // queue as one burst, then wait in submission order.
+            std::vector<Scheduler::Submission> subs;
+            subs.reserve(cfgsv->size());
+            for (std::size_t i = 0; i < cfgsv->size(); ++i) {
+                JobRequest jr{configFromJson(cfgsv->at(i)), priority,
+                              deadlineMs};
+                subs.push_back(scheduler_.submit(jr));
+            }
+            std::ostringstream os;
+            os << "{\"ok\":true,\"results\":[";
+            for (std::size_t i = 0; i < subs.size(); ++i) {
+                if (i)
+                    os << ",";
+                if (!subs[i].accepted())
+                    os << errorReply(subs[i].rejection, /*shed=*/true);
+                else
+                    writeJobReply(os, subs[i].future.get());
+            }
+            os << "]}";
+            return os.str();
+        }
+    } catch (const WireError &e) {
+        return errorReply(e.what());
+    } catch (const JsonError &e) {
+        return errorReply(e.what());
+    } catch (const std::exception &e) {
+        return errorReply(std::string("internal error: ") + e.what());
+    }
+
+    return errorReply("unknown op '" + op + "'");
+}
+
+void
+ServiceServer::requestStop()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) {
+        return;
+    }
+    scheduler_.drain();
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        stopped_.store(true);
+    }
+    stopCv_.notify_all();
+}
+
+void
+ServiceServer::waitUntilStopped()
+{
+    {
+        std::unique_lock<std::mutex> lock(stopMutex_);
+        stopCv_.wait(lock, [this] { return stopped_.load(); });
+    }
+    {
+        // stopped_ implies stopping_, so no new stop thread can be
+        // spawned after this join (the shutdown op checks stopping_).
+        std::lock_guard<std::mutex> lock(stopThreadMutex_);
+        if (stopThread_.joinable())
+            stopThread_.join();
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    joinFinishedHandlers();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(cfg_.socketPath.c_str());
+    }
+}
+
+void
+ServiceServer::joinFinishedHandlers()
+{
+    std::vector<std::thread> handlers;
+    {
+        std::lock_guard<std::mutex> lock(handlersMutex_);
+        handlers.swap(handlers_);
+    }
+    for (std::thread &t : handlers)
+        if (t.joinable())
+            t.join();
+}
+
+} // namespace vcoma

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The vcoma_served daemon's listener: a Unix-domain stream socket
+ * speaking the line-delimited JSON protocol of service/wire.hh, with
+ * one handler thread per connection and every request funnelled into
+ * one shared Scheduler/Runner pair so the in-memory and on-disk
+ * result caches stay warm across clients.
+ *
+ * Lifecycle: construct, start(), then either waitUntilStopped() (the
+ * daemon's main thread parks here) or destroy. A {"op":"shutdown"}
+ * request or requestStop() — callable from a signal handler's flag
+ * poller — stops accepting, drains the scheduler (queued jobs finish)
+ * and unblocks waitUntilStopped().
+ */
+
+#ifndef VCOMA_SERVICE_SERVER_HH
+#define VCOMA_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/scheduler.hh"
+
+namespace vcoma
+{
+
+/** Daemon knobs (the vcoma_served command line). */
+struct ServiceConfig
+{
+    std::string socketPath = "vcoma.sock";
+    /** Scheduler queue capacity (admission control). */
+    std::size_t queueCapacity = 64;
+    /** Executor threads; 0 = Runner::envJobs(). */
+    unsigned workers = 0;
+    /** Reject request lines longer than this (malformed client). */
+    std::size_t maxLineBytes = 1 << 20;
+};
+
+class ServiceServer
+{
+  public:
+    /** Binds nothing yet; start() does the socket work. */
+    ServiceServer(Runner &runner, ServiceConfig cfg);
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer &) = delete;
+    ServiceServer &operator=(const ServiceServer &) = delete;
+
+    /**
+     * Bind the socket (replacing a stale file at the path), listen,
+     * and spawn the accept loop. Throws FatalError on bind failure.
+     */
+    void start();
+
+    /** Begin graceful shutdown: stop accepting, drain, unpark. */
+    void requestStop();
+
+    /** Park until requestStop() (or a shutdown request) completes. */
+    void waitUntilStopped();
+
+    bool stopped() const { return stopped_.load(); }
+
+    /**
+     * Handle one request line, returning the reply line (without the
+     * trailing newline). Public so tests can drive the protocol
+     * without a socket.
+     */
+    std::string handleRequestLine(const std::string &line);
+
+    Scheduler &scheduler() { return scheduler_; }
+    const ServiceConfig &config() const { return cfg_; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    void joinFinishedHandlers();
+
+    Runner &runner_;
+    ServiceConfig cfg_;
+    Scheduler scheduler_;
+
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+    std::mutex handlersMutex_;
+    std::vector<std::thread> handlers_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopped_{false};
+    std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+    /** The shutdown op's stop thread; joined by waitUntilStopped(). */
+    std::mutex stopThreadMutex_;
+    std::thread stopThread_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_SERVICE_SERVER_HH

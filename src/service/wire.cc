@@ -1,0 +1,148 @@
+#include "service/wire.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/json.hh"
+
+namespace vcoma
+{
+
+Scheme
+parseSchemeToken(const std::string &token)
+{
+    if (token == "L0" || token == "L0-TLB")
+        return Scheme::L0;
+    if (token == "L1" || token == "L1-TLB")
+        return Scheme::L1;
+    if (token == "L2" || token == "L2-TLB")
+        return Scheme::L2;
+    if (token == "L3" || token == "L3-TLB")
+        return Scheme::L3;
+    if (token == "VCOMA" || token == "V-COMA")
+        return Scheme::VCOMA;
+    throw WireError("unknown scheme '" + token + "'");
+}
+
+void
+writeConfigJson(std::ostream &os, const ExperimentConfig &cfg)
+{
+    os << "{\"workload\":\"" << jsonEscape(cfg.workload) << "\""
+       << ",\"scheme\":\"" << schemeName(cfg.scheme) << "\""
+       << ",\"tlbEntries\":" << cfg.tlbEntries
+       << ",\"tlbAssoc\":" << cfg.tlbAssoc
+       << ",\"timedTranslation\":"
+       << (cfg.timedTranslation ? "true" : "false")
+       << ",\"writebacksAccessTlb\":"
+       << (cfg.writebacksAccessTlb ? "true" : "false")
+       << ",\"raytraceV2\":" << (cfg.raytraceV2 ? "true" : "false")
+       << ",\"nodes\":" << cfg.nodes;
+    // %.17g-style shortest exact form matters less here than for the
+    // stats sheets, but the scale still has to survive a round trip
+    // bit for bit or the config key (and thus the cache) changes.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", cfg.scale);
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof shorter, "%.*g", prec, cfg.scale);
+        if (std::strtod(shorter, nullptr) == cfg.scale) {
+            std::snprintf(buf, sizeof buf, "%s", shorter);
+            break;
+        }
+    }
+    os << ",\"scale\":" << buf << ",\"seed\":" << cfg.seed
+       << ",\"amAssoc\":" << cfg.amAssoc
+       << ",\"xlatPenalty\":" << cfg.xlatPenalty;
+    if (!cfg.injectFault.empty())
+        os << ",\"injectFault\":\"" << jsonEscape(cfg.injectFault)
+           << "\"";
+    os << "}";
+}
+
+namespace
+{
+
+std::uint64_t
+uintField(const JsonValue &v, const char *name)
+{
+    try {
+        return v.asUint();
+    } catch (const JsonError &e) {
+        throw WireError(std::string("config field '") + name +
+                        "': " + e.what());
+    }
+}
+
+bool
+boolField(const JsonValue &v, const char *name)
+{
+    if (!v.isBool())
+        throw WireError(std::string("config field '") + name +
+                        "' must be a boolean");
+    return v.asBool();
+}
+
+} // namespace
+
+ExperimentConfig
+configFromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        throw WireError("config must be a JSON object");
+    ExperimentConfig cfg;
+    for (const auto &[key, val] : v.asObject()) {
+        if (key == "workload") {
+            if (!val.isString())
+                throw WireError("config field 'workload' must be a "
+                                "string");
+            cfg.workload = val.asString();
+        } else if (key == "scheme") {
+            if (!val.isString())
+                throw WireError("config field 'scheme' must be a "
+                                "string");
+            cfg.scheme = parseSchemeToken(val.asString());
+        } else if (key == "tlbEntries") {
+            cfg.tlbEntries =
+                static_cast<unsigned>(uintField(val, "tlbEntries"));
+        } else if (key == "tlbAssoc") {
+            cfg.tlbAssoc =
+                static_cast<unsigned>(uintField(val, "tlbAssoc"));
+        } else if (key == "timedTranslation") {
+            cfg.timedTranslation = boolField(val, "timedTranslation");
+        } else if (key == "writebacksAccessTlb") {
+            cfg.writebacksAccessTlb =
+                boolField(val, "writebacksAccessTlb");
+        } else if (key == "raytraceV2") {
+            cfg.raytraceV2 = boolField(val, "raytraceV2");
+        } else if (key == "nodes") {
+            cfg.nodes = static_cast<unsigned>(uintField(val, "nodes"));
+        } else if (key == "scale") {
+            if (!val.isNumber())
+                throw WireError("config field 'scale' must be a "
+                                "number");
+            const double s = val.asNumber();
+            if (!std::isfinite(s) || s <= 0)
+                throw WireError("config field 'scale' must be finite "
+                                "and positive");
+            cfg.scale = s;
+        } else if (key == "seed") {
+            cfg.seed = uintField(val, "seed");
+        } else if (key == "amAssoc") {
+            cfg.amAssoc =
+                static_cast<unsigned>(uintField(val, "amAssoc"));
+        } else if (key == "xlatPenalty") {
+            cfg.xlatPenalty = uintField(val, "xlatPenalty");
+        } else if (key == "injectFault") {
+            if (!val.isString())
+                throw WireError("config field 'injectFault' must be a "
+                                "string");
+            cfg.injectFault = val.asString();
+        } else {
+            throw WireError("unknown config field '" + key + "'");
+        }
+    }
+    return cfg;
+}
+
+} // namespace vcoma

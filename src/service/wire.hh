@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The simulation service's wire protocol: line-delimited JSON over a
+ * Unix-domain stream socket. Every request and every reply is exactly
+ * one RFC 8259 JSON object on one line, parsed with the in-tree
+ * vcoma::JsonValue parser — no framing beyond '\n', so the protocol
+ * is scriptable with a shell and `nc`.
+ *
+ * Requests carry an "op":
+ *
+ *   {"op":"ping"}
+ *   {"op":"run","config":{...},"priority":0,"deadlineMs":0}
+ *   {"op":"batch","configs":[{...},...],"priority":0,"deadlineMs":0}
+ *   {"op":"stats"}
+ *   {"op":"cancel","key":"<config key>"}
+ *   {"op":"shutdown"}
+ *
+ * Replies always carry "ok". A successful run reply embeds the stats
+ * sheet as a JSON *string* holding the exact writeRunStatsJson()
+ * bytes, so a client can recover the sheet byte-identically to a
+ * direct Runner::run — JSON string escaping is lossless, re-parsing
+ * numbers is not. A shed job replies {"ok":false,"shed":true,...}
+ * (explicit backpressure, never a hang).
+ *
+ * Config objects mirror ExperimentConfig field by field; unknown
+ * members are an error (a typo must not silently simulate the
+ * default config).
+ */
+
+#ifndef VCOMA_SERVICE_WIRE_HH
+#define VCOMA_SERVICE_WIRE_HH
+
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace vcoma
+{
+
+class JsonValue;
+
+/** Thrown on a malformed request or config object. */
+class WireError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Protocol revision reported by ping and /stats replies. */
+inline constexpr int wireProtocolVersion = 1;
+
+/** Parse a scheme token ("L0", "VCOMA", or paper names like "L2-TLB"). */
+Scheme parseSchemeToken(const std::string &token);
+
+/** Serialise @p cfg as a JSON object (one line, no newline). */
+void writeConfigJson(std::ostream &os, const ExperimentConfig &cfg);
+
+/**
+ * Build an ExperimentConfig from a parsed JSON object. Missing
+ * members keep their defaults; unknown members, wrong-kind values,
+ * and out-of-domain numbers throw WireError.
+ */
+ExperimentConfig configFromJson(const JsonValue &v);
+
+} // namespace vcoma
+
+#endif // VCOMA_SERVICE_WIRE_HH

@@ -4,9 +4,11 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -482,4 +484,118 @@ TEST(Experiments, Table1ListsAllBenchmarks)
     const std::string text = os.str();
     for (const auto &name : paperBenchmarks())
         EXPECT_NE(text.find(name), std::string::npos) << name;
+}
+
+namespace
+{
+
+/** Create @p path with @p bytes of filler and an mtime @p ageHours old. */
+void
+plantCacheFile(const std::filesystem::path &path, std::size_t bytes,
+               int ageHours)
+{
+    std::ofstream out(path);
+    out << std::string(bytes, 'x');
+    out.close();
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now() -
+                  std::chrono::hours(ageHours));
+}
+
+} // namespace
+
+TEST(Runner, PruneCacheKeepsNewestEntriesWithinBudget)
+{
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path);
+    // Four 1000-byte entries, oldest first.
+    plantCacheFile(tmp.path / "a.txt", 1000, 4);
+    plantCacheFile(tmp.path / "b.txt", 1000, 3);
+    plantCacheFile(tmp.path / "c.txt", 1000, 2);
+    plantCacheFile(tmp.path / "d.txt", 1000, 1);
+
+    EXPECT_EQ(Runner::pruneCache(tmp.path.string(), 2000), 2u);
+    EXPECT_FALSE(std::filesystem::exists(tmp.path / "a.txt"));
+    EXPECT_FALSE(std::filesystem::exists(tmp.path / "b.txt"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "c.txt"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "d.txt"));
+}
+
+TEST(Runner, PruneCacheIsANoopUnderBudget)
+{
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path);
+    plantCacheFile(tmp.path / "a.txt", 100, 2);
+    plantCacheFile(tmp.path / "b.txt", 100, 1);
+    EXPECT_EQ(Runner::pruneCache(tmp.path.string(), 200), 0u);
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "a.txt"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "b.txt"));
+    // A missing directory is quietly nothing to prune.
+    EXPECT_EQ(Runner::pruneCache((tmp.path / "absent").string(), 1),
+              0u);
+}
+
+TEST(Runner, PruneCacheNeverTouchesForeignFiles)
+{
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path / "subdir");
+    plantCacheFile(tmp.path / "old.txt", 5000, 2);
+    // Not cache entries: wrong extension, a staging temp (its
+    // extension is the pid suffix, not .txt), and a nested file.
+    plantCacheFile(tmp.path / "README.md", 100, 3);
+    plantCacheFile(tmp.path / "entry.txt.tmp.1234", 100, 3);
+    plantCacheFile(tmp.path / "subdir" / "nested.txt", 100, 3);
+
+    EXPECT_EQ(Runner::pruneCache(tmp.path.string(), 1), 1u);
+    EXPECT_FALSE(std::filesystem::exists(tmp.path / "old.txt"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "README.md"));
+    EXPECT_TRUE(
+        std::filesystem::exists(tmp.path / "entry.txt.tmp.1234"));
+    EXPECT_TRUE(
+        std::filesystem::exists(tmp.path / "subdir" / "nested.txt"));
+}
+
+TEST(Runner, EnvCacheMaxBytesParsesStrictly)
+{
+    constexpr std::uint64_t mib = 1024 * 1024;
+    {
+        EnvGuard env("VCOMA_CACHE_MAX_MB", nullptr);
+        EXPECT_EQ(Runner::envCacheMaxBytes(), 0u);
+    }
+    {
+        EnvGuard env("VCOMA_CACHE_MAX_MB", "7");
+        EXPECT_EQ(Runner::envCacheMaxBytes(), 7 * mib);
+    }
+    {
+        EnvGuard env("VCOMA_CACHE_MAX_MB", " 5");
+        EXPECT_EQ(Runner::envCacheMaxBytes(), 5 * mib);
+    }
+    {   // Unbounded, with a warning: never guess a budget.
+        EnvGuard env("VCOMA_CACHE_MAX_MB", "-3");
+        EXPECT_EQ(Runner::envCacheMaxBytes(), 0u);
+    }
+    {
+        EnvGuard env("VCOMA_CACHE_MAX_MB", "12cats");
+        EXPECT_EQ(Runner::envCacheMaxBytes(), 0u);
+    }
+    {   // MB -> bytes saturates instead of wrapping.
+        EnvGuard env("VCOMA_CACHE_MAX_MB", "99999999999999999999");
+        EXPECT_EQ(Runner::envCacheMaxBytes(),
+                  std::numeric_limits<std::uint64_t>::max());
+    }
+}
+
+TEST(Runner, ConstructionPrunesAnOversizedCache)
+{
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path);
+    // Two entries totalling ~1.4 MiB against a 1 MB budget: the
+    // Runner's constructor must evict the older one.
+    plantCacheFile(tmp.path / "old.txt", 700 * 1024, 2);
+    plantCacheFile(tmp.path / "new.txt", 700 * 1024, 1);
+
+    EnvGuard env("VCOMA_CACHE_MAX_MB", "1");
+    Runner runner(tmp.path.string());
+    EXPECT_FALSE(std::filesystem::exists(tmp.path / "old.txt"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "new.txt"));
 }

@@ -1,0 +1,584 @@
+/**
+ * @file
+ * Tests for the simulation service: wire protocol round-trips,
+ * scheduler admission control / dedup fan-out / deadlines /
+ * cancellation / drain, the server's request handling (with and
+ * without a real socket), byte-exact round-trips against a direct
+ * Runner::run, and the saturating Tick arithmetic the scheduler and
+ * the network Resource share.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/types.hh"
+#include "net/network.hh"
+#include "service/client.hh"
+#include "service/scheduler.hh"
+#include "service/server.hh"
+#include "service/wire.hh"
+#include "sim/run_stats_json.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+ExperimentConfig
+tinyConfig(const char *workload = "UNIFORM")
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.scheme = Scheme::VCOMA;
+    cfg.nodes = 32;
+    cfg.scale = 0.05;
+    return cfg;
+}
+
+/** A tiny config with a distinct seed (distinct cache key). */
+ExperimentConfig
+tinySeeded(std::uint64_t seed)
+{
+    ExperimentConfig cfg = tinyConfig();
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** A config heavy enough to hold a worker for a while. */
+ExperimentConfig
+slowConfig(std::uint64_t seed = 1)
+{
+    ExperimentConfig cfg = tinyConfig();
+    cfg.scale = 0.6;
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::string
+configJson(const ExperimentConfig &cfg)
+{
+    std::ostringstream os;
+    writeConfigJson(os, cfg);
+    return os.str();
+}
+
+std::string
+sheetOf(const RunStats &stats)
+{
+    std::ostringstream os;
+    writeRunStatsJson(os, stats);
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Saturating Tick math (overflow guards for Resource/deadlines).
+
+TEST(SaturatingMath, AddSaturatesInsteadOfWrapping)
+{
+    constexpr std::uint64_t top =
+        std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(saturatingAdd(1, 2), 3u);
+    EXPECT_EQ(saturatingAdd(top, 0), top);
+    EXPECT_EQ(saturatingAdd(top, 1), top);
+    EXPECT_EQ(saturatingAdd(top - 5, 10), top);
+    EXPECT_EQ(saturatingAdd(top / 2, top / 2 + 1), top);
+    EXPECT_EQ(saturatingAdd(0, top), top);
+}
+
+TEST(SaturatingMath, ResourceAcquireNeverWrapsFreeTime)
+{
+    constexpr Tick top = std::numeric_limits<Tick>::max();
+    Resource r;
+    // A malformed huge reservation pins the resource at "never free"
+    // instead of wrapping into the past and granting free slots.
+    EXPECT_EQ(r.acquire(top - 10, 100), top - 10);
+    EXPECT_EQ(r.freeAt(), top);
+    // Later acquires queue behind the saturated time, monotonic.
+    EXPECT_EQ(r.acquire(0, 5), top);
+    EXPECT_EQ(r.freeAt(), top);
+    r.reset();
+    EXPECT_EQ(r.acquire(10, 5), 10u);
+    EXPECT_EQ(r.freeAt(), 15u);
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol.
+
+TEST(Wire, ConfigRoundTripsEveryField)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "RAYTRACE";
+    cfg.scheme = Scheme::L2;
+    cfg.tlbEntries = 64;
+    cfg.tlbAssoc = 2;
+    cfg.timedTranslation = true;
+    cfg.writebacksAccessTlb = false;
+    cfg.raytraceV2 = true;
+    cfg.nodes = 16;
+    cfg.scale = 0.3;
+    cfg.seed = 99;
+    cfg.amAssoc = 8;
+    cfg.xlatPenalty = 75;
+    cfg.injectFault = "stale-translation";
+
+    const ExperimentConfig back =
+        configFromJson(JsonValue::parse(configJson(cfg)));
+    EXPECT_EQ(back.key(), cfg.key());
+    EXPECT_EQ(back.workload, cfg.workload);
+    EXPECT_EQ(back.scheme, cfg.scheme);
+    EXPECT_EQ(back.writebacksAccessTlb, cfg.writebacksAccessTlb);
+    EXPECT_EQ(back.injectFault, cfg.injectFault);
+}
+
+TEST(Wire, ScaleSurvivesRoundTripBitForBit)
+{
+    ExperimentConfig cfg = tinyConfig();
+    cfg.scale = 0.1;  // not representable exactly in binary
+    const ExperimentConfig back =
+        configFromJson(JsonValue::parse(configJson(cfg)));
+    EXPECT_EQ(back.scale, cfg.scale);
+    EXPECT_EQ(back.key(), cfg.key());
+}
+
+TEST(Wire, UnknownConfigFieldRejected)
+{
+    EXPECT_THROW(
+        configFromJson(JsonValue::parse("{\"workloa\":\"FFT\"}")),
+        WireError);
+    EXPECT_THROW(configFromJson(JsonValue::parse("[1,2]")), WireError);
+    EXPECT_THROW(
+        configFromJson(JsonValue::parse("{\"scale\":-1}")), WireError);
+    EXPECT_THROW(
+        configFromJson(JsonValue::parse("{\"nodes\":\"four\"}")),
+        WireError);
+}
+
+TEST(Wire, SchemeTokensBothSpellingsParse)
+{
+    EXPECT_EQ(parseSchemeToken("L0"), Scheme::L0);
+    EXPECT_EQ(parseSchemeToken("L2-TLB"), Scheme::L2);
+    EXPECT_EQ(parseSchemeToken("VCOMA"), Scheme::VCOMA);
+    EXPECT_EQ(parseSchemeToken("V-COMA"), Scheme::VCOMA);
+    EXPECT_THROW(parseSchemeToken("L9"), WireError);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler.
+
+TEST(Scheduler, RunsAJobAndReportsCacheHits)
+{
+    Runner runner("");
+    Scheduler sched(runner, 8, 2);
+
+    const JobRequest req{tinyConfig(), 0, 0};
+    auto sub = sched.submit(req);
+    ASSERT_TRUE(sub.accepted());
+    const JobResult r = sub.future.get();
+    ASSERT_EQ(r.status, JobStatus::Done);
+    ASSERT_NE(r.stats, nullptr);
+    EXPECT_FALSE(r.cached);
+
+    // Same config again: the runner memo serves it, cached == true.
+    auto again = sched.submit(req);
+    ASSERT_TRUE(again.accepted());
+    const JobResult r2 = again.future.get();
+    ASSERT_EQ(r2.status, JobStatus::Done);
+    EXPECT_TRUE(r2.cached);
+    EXPECT_EQ(r2.stats, r.stats);
+
+    const SchedulerStats s = sched.stats();
+    EXPECT_EQ(s.served, 2u);
+    EXPECT_EQ(s.cacheHits, 1u);
+    EXPECT_EQ(s.executed, 1u);
+    EXPECT_EQ(s.latencyMs.count, 2u);
+    EXPECT_LE(s.latencyP50Ms, s.latencyP90Ms);
+    EXPECT_LE(s.latencyP90Ms, s.latencyP99Ms);
+}
+
+TEST(Scheduler, ZeroCapacityShedsEverySubmitExplicitly)
+{
+    Runner runner("");
+    Scheduler sched(runner, 0, 1);
+    auto sub = sched.submit({tinyConfig(), 0, 0});
+    EXPECT_FALSE(sub.accepted());
+    EXPECT_NE(sub.rejection.find("queue full"), std::string::npos)
+        << sub.rejection;
+    EXPECT_EQ(sched.stats().shedQueueFull, 1u);
+}
+
+TEST(Scheduler, DedupFansOneRunOutToEveryWaiter)
+{
+    Runner runner("");
+    Scheduler sched(runner, 8, 1);
+
+    // Park the single worker on a slow job so the duplicates join the
+    // queued job rather than racing it into the memo.
+    auto slow = sched.submit({slowConfig(7), 0, 0});
+    ASSERT_TRUE(slow.accepted());
+
+    const JobRequest dup{tinyConfig("STRIDE"), 0, 0};
+    auto first = sched.submit(dup);
+    ASSERT_TRUE(first.accepted());
+    EXPECT_FALSE(first.deduplicated);
+
+    std::vector<Scheduler::Submission> joiners;
+    for (int i = 0; i < 4; ++i) {
+        joiners.push_back(sched.submit(dup));
+        ASSERT_TRUE(joiners.back().accepted());
+        EXPECT_TRUE(joiners.back().deduplicated) << i;
+    }
+
+    const JobResult base = first.future.get();
+    ASSERT_EQ(base.status, JobStatus::Done);
+    for (auto &j : joiners) {
+        const JobResult r = j.future.get();
+        ASSERT_EQ(r.status, JobStatus::Done);
+        EXPECT_EQ(r.stats, base.stats);  // the same run, fanned out
+    }
+    const SchedulerStats s = sched.stats();
+    EXPECT_EQ(s.dedupJoins, 4u);
+    // One simulation for the five waiters (plus the slow pacer).
+    EXPECT_EQ(s.executed, 2u);
+    (void)slow.future.get();
+}
+
+TEST(Scheduler, QueuedJobCanBeCancelled)
+{
+    Runner runner("");
+    Scheduler sched(runner, 8, 1);
+    auto slow = sched.submit({slowConfig(8), 0, 0});
+    ASSERT_TRUE(slow.accepted());
+
+    const JobRequest victim{tinySeeded(3), 0, 0};
+    auto queued = sched.submit(victim);
+    ASSERT_TRUE(queued.accepted());
+    EXPECT_EQ(sched.cancel(victim.config.key()), 1u);
+    const JobResult r = queued.future.get();
+    EXPECT_EQ(r.status, JobStatus::Cancelled);
+    EXPECT_EQ(sched.stats().cancelled, 1u);
+    (void)slow.future.get();
+}
+
+TEST(Scheduler, ExpiredDeadlineShedsHugeDeadlineDoesNot)
+{
+    Runner runner("");
+    Scheduler sched(runner, 8, 1);
+    auto slow = sched.submit({slowConfig(9), 0, 0});
+    ASSERT_TRUE(slow.accepted());
+
+    // 1 ms deadline: long gone by the time the worker frees up.
+    auto expired = sched.submit({tinyConfig("STRIDE"), 0, 1});
+    // Saturating deadline: submitMs + max must pin at "never", not
+    // wrap into the past and shed a healthy job.
+    auto forever = sched.submit(
+        {tinySeeded(4), 0,
+         std::numeric_limits<std::uint64_t>::max()});
+    ASSERT_TRUE(expired.accepted());
+    ASSERT_TRUE(forever.accepted());
+
+    const JobResult r1 = expired.future.get();
+    EXPECT_EQ(r1.status, JobStatus::Shed);
+    EXPECT_NE(r1.error.find("deadline"), std::string::npos) << r1.error;
+    const JobResult r2 = forever.future.get();
+    EXPECT_EQ(r2.status, JobStatus::Done);
+    EXPECT_EQ(sched.stats().shedDeadline, 1u);
+    (void)slow.future.get();
+}
+
+TEST(Scheduler, PriorityOrdersQueuedJobs)
+{
+    Runner runner("");
+    Scheduler sched(runner, 8, 1);
+    auto slow = sched.submit({slowConfig(10), 0, 0});
+    ASSERT_TRUE(slow.accepted());
+
+    // Queued behind the pacer: a low-priority job first, then a
+    // high-priority one. The high one must run first, so when its
+    // result lands the low one must still be pending (it takes long
+    // enough for the check to be robust).
+    ExperimentConfig lowCfg = tinyConfig("STRIDE");
+    lowCfg.scale = 0.3;
+    auto low = sched.submit({lowCfg, 0, 0});
+    auto high = sched.submit({tinySeeded(5), 5, 0});
+    ASSERT_TRUE(low.accepted());
+    ASSERT_TRUE(high.accepted());
+
+    high.future.wait();
+    EXPECT_NE(low.future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(high.future.get().status, JobStatus::Done);
+    EXPECT_EQ(low.future.get().status, JobStatus::Done);
+    (void)slow.future.get();
+}
+
+TEST(Scheduler, DrainFinishesQueuedJobsAndRejectsNewOnes)
+{
+    Runner runner("");
+    Scheduler sched(runner, 8, 1);
+    auto a = sched.submit({tinyConfig(), 0, 0});
+    auto b = sched.submit({tinyConfig("STRIDE"), 0, 0});
+    ASSERT_TRUE(a.accepted());
+    ASSERT_TRUE(b.accepted());
+    sched.drain();
+    EXPECT_EQ(a.future.get().status, JobStatus::Done);
+    EXPECT_EQ(b.future.get().status, JobStatus::Done);
+    auto late = sched.submit({tinySeeded(6), 0, 0});
+    EXPECT_FALSE(late.accepted());
+    EXPECT_NE(late.rejection.find("drain"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Failure semantics under the service (poisoned configs).
+
+TEST(ServiceFailures, RunAllMixedPoisonedBatchKeepsOrderAndRecords)
+{
+    // A batch mixing a FaultInjector-poisoned config with healthy
+    // ones: results in submission order, the poisoned slot nullptr,
+    // the FailedRun recorded, everything else served.
+    std::vector<ExperimentConfig> cfgs;
+    cfgs.push_back(tinyConfig("UNIFORM"));
+    ExperimentConfig bad = tinyConfig("STRIDE");
+    bad.injectFault = "corrupt-am-state";
+    cfgs.push_back(bad);
+    cfgs.push_back(tinySeeded(7));
+
+    Runner runner("");
+    const auto results = runner.runAll(cfgs);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_NE(results[0], nullptr);
+    EXPECT_EQ(results[1], nullptr);
+    EXPECT_NE(results[2], nullptr);
+
+    const auto failures = runner.failures();
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].key, bad.key());
+    EXPECT_NE(failures[0].error.find("corrupt-am-state"),
+              std::string::npos)
+        << failures[0].error;
+}
+
+TEST(ServiceFailures, UnknownFaultClassFailsTheJobNotTheService)
+{
+    Runner runner("");
+    Scheduler sched(runner, 8, 1);
+    ExperimentConfig bad = tinyConfig();
+    bad.injectFault = "no-such-class";
+    auto sub = sched.submit({bad, 0, 0});
+    ASSERT_TRUE(sub.accepted());
+    const JobResult r = sub.future.get();
+    EXPECT_EQ(r.status, JobStatus::Failed);
+    EXPECT_NE(r.error.find("no-such-class"), std::string::npos)
+        << r.error;
+
+    // The scheduler keeps serving after a failure.
+    auto ok = sched.submit({tinyConfig("STRIDE"), 0, 0});
+    ASSERT_TRUE(ok.accepted());
+    EXPECT_EQ(ok.future.get().status, JobStatus::Done);
+}
+
+// ---------------------------------------------------------------------
+// Server request handling (protocol level, no socket).
+
+TEST(ServiceServer, HandlesProtocolErrorsExplicitly)
+{
+    Runner runner("");
+    ServiceConfig cfg;
+    cfg.queueCapacity = 4;
+    cfg.workers = 1;
+    ServiceServer server(runner, cfg);  // never start()ed: no socket
+
+    auto expectError = [&](const std::string &req,
+                           const std::string &needle) {
+        const JsonValue v =
+            JsonValue::parse(server.handleRequestLine(req));
+        EXPECT_FALSE(v.at("ok").asBool()) << req;
+        EXPECT_NE(v.at("error").asString().find(needle),
+                  std::string::npos)
+            << req << " -> " << v.at("error").asString();
+    };
+    expectError("not json", "bad request JSON");
+    expectError("[1]", "object");
+    expectError("{\"op\":\"warp\"}", "unknown op");
+    expectError("{\"op\":\"run\"}", "config");
+    expectError("{\"op\":\"run\",\"config\":{\"bogus\":1}}",
+                "unknown config field");
+    expectError("{\"op\":\"cancel\"}", "key");
+
+    const JsonValue pong =
+        JsonValue::parse(server.handleRequestLine("{\"op\":\"ping\"}"));
+    EXPECT_TRUE(pong.at("ok").asBool());
+    EXPECT_TRUE(pong.at("pong").asBool());
+}
+
+TEST(ServiceServer, BatchRepliesInSubmissionOrderPastFailures)
+{
+    Runner runner("");
+    ServiceConfig scfg;
+    scfg.queueCapacity = 8;
+    scfg.workers = 2;
+    ServiceServer server(runner, scfg);
+
+    ExperimentConfig bad = tinyConfig("STRIDE");
+    bad.injectFault = "corrupt-am-state";
+    std::ostringstream req;
+    req << "{\"op\":\"batch\",\"configs\":["
+        << configJson(tinyConfig("UNIFORM")) << ","
+        << configJson(bad) << ","
+        << configJson(tinySeeded(8)) << "]}";
+    const JsonValue v =
+        JsonValue::parse(server.handleRequestLine(req.str()));
+    ASSERT_TRUE(v.at("ok").asBool());
+    const JsonValue &results = v.at("results");
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results.at(std::size_t{0}).at("ok").asBool());
+    EXPECT_FALSE(results.at(std::size_t{1}).at("ok").asBool());
+    EXPECT_TRUE(results.at(std::size_t{2}).at("ok").asBool());
+    EXPECT_NE(results.at(std::size_t{1})
+                  .at("error")
+                  .asString()
+                  .find("corrupt-am-state"),
+              std::string::npos);
+
+    // The daemon still serves the next request after the failure.
+    const JsonValue again = JsonValue::parse(server.handleRequestLine(
+        "{\"op\":\"run\",\"config\":" + configJson(tinyConfig()) +
+        "}"));
+    EXPECT_TRUE(again.at("ok").asBool());
+}
+
+// ---------------------------------------------------------------------
+// End to end over a real Unix-domain socket.
+
+namespace
+{
+
+/** Short socket path (sun_path is ~108 bytes; build dirs run long). */
+std::string
+shortSocketPath(const char *tag)
+{
+    return "/tmp/vcoma_test_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + ".sock";
+}
+
+} // namespace
+
+TEST(ServiceSocket, RoundTripIsByteExactAndCacheWarm)
+{
+    Runner runner("");
+    ServiceConfig scfg;
+    scfg.socketPath = shortSocketPath("rt");
+    scfg.queueCapacity = 8;
+    scfg.workers = 2;
+    ServiceServer server(runner, scfg);
+    server.start();
+
+    const ExperimentConfig cfg = tinyConfig();
+    std::string viaService;
+    {
+        ServiceClient client(scfg.socketPath);
+        ASSERT_TRUE(client.ping());
+        const auto out = client.run(cfg);
+        ASSERT_TRUE(out.ok) << out.error;
+        EXPECT_FALSE(out.cached);
+        viaService = out.statsJson;
+    }
+
+    // Byte-exact against a direct Runner::run of the same config.
+    Runner direct("");
+    EXPECT_EQ(viaService, sheetOf(direct.run(cfg)));
+
+    // Second submission: served from the warm memo, byte-identical.
+    {
+        ServiceClient client(scfg.socketPath);
+        const auto out = client.run(cfg);
+        ASSERT_TRUE(out.ok) << out.error;
+        EXPECT_TRUE(out.cached);
+        EXPECT_EQ(out.statsJson, viaService);
+
+        const JsonValue stats =
+            JsonValue::parse(client.statsLine());
+        ASSERT_TRUE(stats.at("ok").asBool());
+        const JsonValue &s = stats.at("serviceStats");
+        EXPECT_EQ(s.at("cacheHits").asUint(), 1u);
+        EXPECT_EQ(s.at("jobsServed").asUint(), 2u);
+        EXPECT_EQ(s.at("simulationsExecuted").asUint(), 1u);
+    }
+    server.requestStop();
+    server.waitUntilStopped();
+    EXPECT_FALSE(std::filesystem::exists(scfg.socketPath));
+}
+
+TEST(ServiceSocket, CapacityOneFourConcurrentClientsShedExplicitly)
+{
+    Runner runner("");
+    ServiceConfig scfg;
+    scfg.socketPath = shortSocketPath("shed");
+    scfg.queueCapacity = 1;
+    scfg.workers = 1;
+    ServiceServer server(runner, scfg);
+    server.start();
+
+    // Four concurrent clients, distinct slow configs, capacity 1:
+    // every client must get an explicit reply — ok or a shed with
+    // backpressure text — and nothing may hang or crash.
+    std::atomic<int> oks{0}, sheds{0}, others{0};
+    std::vector<std::thread> clients;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        clients.emplace_back([&, i] {
+            ServiceClient client(scfg.socketPath);
+            const auto out = client.run(slowConfig(100 + i));
+            if (out.ok)
+                ++oks;
+            else if (out.shed)
+                ++sheds;
+            else
+                ++others;
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    EXPECT_EQ(oks + sheds, 4);
+    EXPECT_EQ(others, 0);
+    EXPECT_GE(oks.load(), 1);
+    const JsonValue stats = JsonValue::parse(
+        [&] {
+            ServiceClient c(scfg.socketPath);
+            return c.statsLine();
+        }());
+    const JsonValue &s = stats.at("serviceStats");
+    EXPECT_EQ(s.at("jobsServed").asUint() +
+                  s.at("jobsShed").asUint(),
+              4u);
+    server.requestStop();
+    server.waitUntilStopped();
+}
+
+TEST(ServiceSocket, ShutdownOpDrainsTheDaemon)
+{
+    Runner runner("");
+    ServiceConfig scfg;
+    scfg.socketPath = shortSocketPath("down");
+    scfg.queueCapacity = 4;
+    scfg.workers = 1;
+    ServiceServer server(runner, scfg);
+    server.start();
+    {
+        ServiceClient client(scfg.socketPath);
+        EXPECT_TRUE(client.shutdown());
+    }
+    server.waitUntilStopped();
+    EXPECT_TRUE(server.stopped());
+}

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * vcoma_client — command-line client of the vcoma_served daemon.
+ *
+ *   vcoma_client ping
+ *   vcoma_client run --workload FFT --scheme VCOMA --out fft.json
+ *   vcoma_client sweep --workloads RADIX,FFT --schemes L0,VCOMA \
+ *                      --scale 0.1 --out-dir sheets/
+ *   vcoma_client direct --workloads RADIX,FFT --schemes L0,VCOMA \
+ *                      --scale 0.1 --out-dir direct/   # no daemon
+ *   vcoma_client stats
+ *   vcoma_client shutdown
+ *
+ * `direct` runs the same configs through a local Runner and writes
+ * sheets with the same names and bytes the daemon would return, so a
+ * served sweep can be byte-compared against ground truth (`diff -r`).
+ * Sheets are the exact writeRunStatsJson() output plus one newline.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/client.hh"
+#include "service/wire.hh"
+#include "sim/run_stats_json.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: vcoma_client [--socket PATH] COMMAND [options]\n"
+        "commands:\n"
+        "  ping                       liveness probe\n"
+        "  run [config] [--out FILE]  submit one job, print/write sheet\n"
+        "  sweep [sweep] --out-dir D  submit a batch, one sheet per file\n"
+        "  direct [sweep] --out-dir D same sheets via a local Runner\n"
+        "  stats                      print the /stats reply\n"
+        "  shutdown                   ask the daemon to drain and exit\n"
+        "config options (run):\n"
+        "  --workload NAME --scheme S --entries N --assoc N --nodes N\n"
+        "  --scale X --seed N --untimed --no-wback-tlb --raytrace-v2\n"
+        "  --am-assoc N --xlat-penalty N --inject-fault CLASS\n"
+        "sweep options (sweep/direct): config options, plus\n"
+        "  --workloads A,B,...        instead of --workload\n"
+        "  --schemes S1,S2,...        instead of --scheme\n"
+        "shared options:\n"
+        "  --socket PATH              daemon socket (default vcoma.sock)\n"
+        "  --priority N               larger runs first (default 0)\n"
+        "  --deadline-ms N            shed if still queued after N ms\n"
+        "  --timeout-ms N             connect timeout (default 10000)\n";
+    std::exit(code);
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+struct Options
+{
+    std::string socket = "vcoma.sock";
+    std::string command;
+    std::string outFile;
+    std::string outDir;
+    std::vector<std::string> workloads{"RADIX"};
+    std::vector<std::string> schemes{"VCOMA"};
+    ExperimentConfig base;
+    int priority = 0;
+    std::uint64_t deadlineMs = 0;
+    int timeoutMs = 10000;
+};
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    auto value = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            usage(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket")
+            opt.socket = value(i);
+        else if (arg == "--out")
+            opt.outFile = value(i);
+        else if (arg == "--out-dir")
+            opt.outDir = value(i);
+        else if (arg == "--workload")
+            opt.workloads = {value(i)};
+        else if (arg == "--workloads")
+            opt.workloads = splitList(value(i));
+        else if (arg == "--scheme")
+            opt.schemes = {value(i)};
+        else if (arg == "--schemes")
+            opt.schemes = splitList(value(i));
+        else if (arg == "--entries")
+            opt.base.tlbEntries =
+                static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--assoc")
+            opt.base.tlbAssoc =
+                static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--nodes")
+            opt.base.nodes =
+                static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--scale")
+            opt.base.scale = std::stod(value(i));
+        else if (arg == "--seed")
+            opt.base.seed = std::stoull(value(i));
+        else if (arg == "--untimed")
+            opt.base.timedTranslation = false;
+        else if (arg == "--timed")
+            opt.base.timedTranslation = true;
+        else if (arg == "--no-wback-tlb")
+            opt.base.writebacksAccessTlb = false;
+        else if (arg == "--raytrace-v2")
+            opt.base.raytraceV2 = true;
+        else if (arg == "--am-assoc")
+            opt.base.amAssoc =
+                static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--xlat-penalty")
+            opt.base.xlatPenalty = std::stoull(value(i));
+        else if (arg == "--inject-fault")
+            opt.base.injectFault = value(i);
+        else if (arg == "--priority")
+            opt.priority = std::stoi(value(i));
+        else if (arg == "--deadline-ms")
+            opt.deadlineMs = std::stoull(value(i));
+        else if (arg == "--timeout-ms")
+            opt.timeoutMs = std::stoi(value(i));
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            usage(2);
+        } else if (opt.command.empty()) {
+            opt.command = arg;
+        } else {
+            std::cerr << "unexpected argument '" << arg << "'\n";
+            usage(2);
+        }
+    }
+    if (opt.command.empty()) {
+        std::cerr << "missing command\n";
+        usage(2);
+    }
+    return opt;
+}
+
+std::vector<ExperimentConfig>
+sweepConfigs(const Options &opt)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (const std::string &w : opt.workloads) {
+        for (const std::string &s : opt.schemes) {
+            ExperimentConfig cfg = opt.base;
+            cfg.workload = w;
+            cfg.scheme = parseSchemeToken(s);
+            cfgs.push_back(cfg);
+        }
+    }
+    return cfgs;
+}
+
+void
+writeSheet(const std::string &path, const std::string &statsJson)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write '" << path << "'\n";
+        std::exit(1);
+    }
+    out << statsJson << "\n";
+}
+
+int
+runOne(Options &opt)
+{
+    ExperimentConfig cfg = opt.base;
+    cfg.workload = opt.workloads.at(0);
+    cfg.scheme = parseSchemeToken(opt.schemes.at(0));
+    ServiceClient client(opt.socket, opt.timeoutMs);
+    const ServiceClient::Outcome out =
+        client.run(cfg, opt.priority, opt.deadlineMs);
+    if (!out.ok) {
+        std::cerr << "vcoma_client: " << (out.shed ? "shed: " : "failed: ")
+                  << out.error << "\n";
+        return out.shed ? 3 : 1;
+    }
+    if (!opt.outFile.empty())
+        writeSheet(opt.outFile, out.statsJson);
+    else
+        std::cout << out.statsJson << "\n";
+    std::cerr << "vcoma_client: " << cfg.key()
+              << (out.cached ? " (cached)" : " (simulated)") << "\n";
+    return 0;
+}
+
+int
+runSweep(Options &opt)
+{
+    if (opt.outDir.empty()) {
+        std::cerr << "sweep needs --out-dir\n";
+        usage(2);
+    }
+    std::filesystem::create_directories(opt.outDir);
+    const std::vector<ExperimentConfig> cfgs = sweepConfigs(opt);
+    ServiceClient client(opt.socket, opt.timeoutMs);
+    const auto outcomes =
+        client.batch(cfgs, opt.priority, opt.deadlineMs);
+    int rc = 0;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const auto &out = outcomes.at(i);
+        if (!out.ok) {
+            std::cerr << "vcoma_client: " << cfgs[i].key() << ": "
+                      << (out.shed ? "shed: " : "failed: ")
+                      << out.error << "\n";
+            rc = out.shed ? 3 : 1;
+            continue;
+        }
+        writeSheet(opt.outDir + "/" + cfgs[i].key() + ".json",
+                   out.statsJson);
+    }
+    std::cerr << "vcoma_client: " << cfgs.size() << " config(s) -> "
+              << opt.outDir << "\n";
+    return rc;
+}
+
+int
+runDirect(Options &opt)
+{
+    if (opt.outDir.empty()) {
+        std::cerr << "direct needs --out-dir\n";
+        usage(2);
+    }
+    std::filesystem::create_directories(opt.outDir);
+    Runner runner;
+    int rc = 0;
+    for (const ExperimentConfig &cfg : sweepConfigs(opt)) {
+        const RunStats *stats = runner.tryRun(cfg);
+        if (!stats) {
+            std::cerr << "vcoma_client: " << cfg.key() << ": failed: "
+                      << runner.failureMessage(cfg.key()) << "\n";
+            rc = 1;
+            continue;
+        }
+        std::ostringstream sheet;
+        writeRunStatsJson(sheet, *stats);
+        writeSheet(opt.outDir + "/" + cfg.key() + ".json",
+                   sheet.str());
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    Options opt = parse(argc, argv);
+
+    if (opt.command == "ping") {
+        ServiceClient client(opt.socket, opt.timeoutMs);
+        if (!client.ping()) {
+            std::cerr << "vcoma_client: no pong\n";
+            return 1;
+        }
+        std::cout << "pong\n";
+        return 0;
+    }
+    if (opt.command == "run")
+        return runOne(opt);
+    if (opt.command == "sweep")
+        return runSweep(opt);
+    if (opt.command == "direct")
+        return runDirect(opt);
+    if (opt.command == "stats") {
+        ServiceClient client(opt.socket, opt.timeoutMs);
+        std::cout << client.statsLine() << "\n";
+        return 0;
+    }
+    if (opt.command == "shutdown") {
+        ServiceClient client(opt.socket, opt.timeoutMs);
+        if (!client.shutdown()) {
+            std::cerr << "vcoma_client: shutdown not acknowledged\n";
+            return 1;
+        }
+        std::cout << "draining\n";
+        return 0;
+    }
+    std::cerr << "unknown command '" << opt.command << "'\n";
+    usage(2);
+} catch (const std::exception &e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+}

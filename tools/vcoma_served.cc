@@ -1,0 +1,114 @@
+/**
+ * @file
+ * vcoma_served — the persistent simulation daemon.
+ *
+ * Listens on a Unix-domain socket, executes job requests through one
+ * shared Runner (warm in-memory memo + disk cache across every
+ * client), and sheds load explicitly when the bounded queue fills.
+ *
+ *   vcoma_served --socket /tmp/vcoma.sock
+ *   vcoma_served --socket vcoma.sock --capacity 128 --workers 8
+ *
+ * Stops on a {"op":"shutdown"} request or SIGINT/SIGTERM; either way
+ * queued jobs finish before exit (graceful drain).
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "service/server.hh"
+
+using namespace vcoma;
+
+namespace
+{
+
+volatile std::sig_atomic_t signalled = 0;
+
+void
+onSignal(int)
+{
+    signalled = 1;
+}
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: vcoma_served [options]\n"
+        "  --socket PATH    Unix-domain socket path (default vcoma.sock)\n"
+        "  --capacity N     job-queue capacity (default 64)\n"
+        "  --workers N      executor threads (default $VCOMA_JOBS)\n"
+        "  --cache-dir DIR  disk cache (default $VCOMA_CACHE_DIR or\n"
+        "                   .vcoma_cache; honours $VCOMA_NO_CACHE and\n"
+        "                   $VCOMA_CACHE_MAX_MB)\n"
+        "  --help\n";
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    ServiceConfig cfg;
+    std::string cacheDir = Runner::defaultCacheDir();
+    auto value = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            usage(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket")
+            cfg.socketPath = value(i);
+        else if (arg == "--capacity")
+            cfg.queueCapacity = std::stoull(value(i));
+        else if (arg == "--workers")
+            cfg.workers = static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--cache-dir")
+            cacheDir = value(i);
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            usage(2);
+        }
+    }
+
+    Runner runner(cacheDir);
+    ServiceServer server(runner, cfg);
+    server.start();
+    std::cout << "vcoma_served: listening on " << cfg.socketPath
+              << " (capacity " << cfg.queueCapacity << ")"
+              << std::endl;
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    // Signal handlers may only flip the flag; this poller turns it
+    // into a graceful stop from a normal thread context.
+    std::thread poller([&server] {
+        while (!server.stopped()) {
+            if (signalled) {
+                server.requestStop();
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+    });
+
+    server.waitUntilStopped();
+    poller.join();
+    std::cout << "vcoma_served: drained, exiting" << std::endl;
+    return 0;
+} catch (const std::exception &e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+}

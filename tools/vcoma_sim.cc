@@ -42,6 +42,8 @@ struct Options
     bool timed = true;
     bool dumpStats = false;
     bool raytraceV2 = false;
+    std::string statsJsonPath;
+    std::string traceEventsPath;
 };
 
 [[noreturn]] void
@@ -62,6 +64,10 @@ usage(int code)
         "  --record FILE     write the reference trace and exit\n"
         "  --replay FILE     simulate a recorded trace\n"
         "  --dump-stats      print the per-component stats hierarchy\n"
+        "  --stats-json FILE append the stats sheet as one JSONL line\n"
+        "                    (same as VCOMA_STATS_JSON=FILE)\n"
+        "  --trace-events FILE write a Chrome trace of the run\n"
+        "                    (same as VCOMA_TRACE_EVENTS=FILE)\n"
         "  --help\n";
     std::exit(code);
 }
@@ -115,10 +121,15 @@ parse(int argc, char **argv)
             opt.replayPath = value(i);
         else if (arg == "--dump-stats")
             opt.dumpStats = true;
+        else if (arg == "--stats-json")
+            opt.statsJsonPath = value(i);
+        else if (arg == "--trace-events")
+            opt.traceEventsPath = value(i);
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else {
-            std::cerr << "unknown option '" << arg << "'\n";
+            std::cerr << "vcoma_sim: unknown option '" << arg
+                      << "' (flags are never ignored; see --help)\n";
             usage(2);
         }
     }
@@ -165,6 +176,15 @@ try {
                   << "\n";
         return 0;
     }
+
+    // The exporters are wired to the environment (so every consumer —
+    // bench binaries, the service — shares one switch); the CLI flags
+    // are sugar over the same mechanism and must precede Machine
+    // construction, which opens the tracer.
+    if (!opt.statsJsonPath.empty())
+        ::setenv("VCOMA_STATS_JSON", opt.statsJsonPath.c_str(), 1);
+    if (!opt.traceEventsPath.empty())
+        ::setenv("VCOMA_TRACE_EVENTS", opt.traceEventsPath.c_str(), 1);
 
     MachineConfig cfg =
         baselineConfig(opt.scheme, opt.entries, opt.assoc);
