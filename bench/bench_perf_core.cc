@@ -1,19 +1,26 @@
 /**
  * @file
  * Perf smoke test for the per-reference simulation core: one fixed,
- * FLC-hit-heavy configuration simulated twice — hit fast path off,
- * then on — reporting host refs/sec for both and asserting that the
- * two runs produce identical statistics (the fast path is a speed
- * knob, never a model knob).
+ * FLC-hit-heavy configuration simulated three ways — hit fast path
+ * off, fast path on, and packed-trace replay (record once, then mmap
+ * the reference stream back instead of re-running the workload
+ * coroutines) — reporting host refs/sec for all three and asserting
+ * that every mode produces identical statistics (speed knobs, never
+ * model knobs).
  *
  * The exit status reflects only output identity: a perf regression
  * shows up in BENCH_perf_core.json (refs_per_sec_* and speedup
  * metrics) without failing the binary, so CI archives the numbers but
- * gates merges only on correctness.
+ * gates merges only on correctness. The perf-trajectory workflow
+ * separately compares the recorded ratios against the committed
+ * baseline (bench/perf_baseline.json).
  */
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -22,6 +29,7 @@
 #include "sim/machine.hh"
 #include "sim/run_stats_json.hh"
 #include "translation/system_builder.hh"
+#include "workloads/replay.hh"
 #include "workloads/workload.hh"
 
 using namespace vcoma;
@@ -99,6 +107,28 @@ perfConfig(bool fastPath)
     return cfg;
 }
 
+/**
+ * Host refs/sec of one trial, with the trial duration clamped to a
+ * floor: an otherwise sub-resolution trial would divide by ~0 and
+ * yield an infinite rate, which BENCH_perf_core.json serialises as
+ * null (the non-finite rule) — silently corrupting the perf
+ * trajectory CI tracks. A trial of exactly zero measured length is a
+ * broken clock or an empty run and fails the bench loudly instead.
+ */
+double
+trialRate(std::uint64_t refs, double seconds)
+{
+    constexpr double minTrialSeconds = 1e-6;
+    if (seconds <= 0.0 || refs == 0) {
+        std::cerr << "FAIL: perf trial retired " << refs << " refs in "
+                  << seconds
+                  << " measured seconds; a zero-length trial cannot "
+                     "produce a meaningful rate\n";
+        std::exit(1);
+    }
+    return static_cast<double>(refs) / std::max(seconds, minTrialSeconds);
+}
+
 struct Measurement
 {
     double refsPerSec = 0;
@@ -106,22 +136,19 @@ struct Measurement
     std::string dump;  ///< full component stats hierarchy
 };
 
+/** Run @p workload @p reps times on @p cfg, keeping the best rate. */
 Measurement
-measure(bool fastPath, unsigned iterations, unsigned reps)
+measureRuns(const MachineConfig &cfg, Workload &workload, unsigned reps)
 {
     Measurement best;
     for (unsigned rep = 0; rep < reps; ++rep) {
-        Machine machine(perfConfig(fastPath));
-        FlcResweepWorkload w(machine.numNodes(), iterations);
+        Machine machine(cfg);
         const auto t0 = std::chrono::steady_clock::now();
-        const RunStats stats = machine.run(w);
+        const RunStats stats = machine.run(workload);
         const std::chrono::duration<double> dt =
             std::chrono::steady_clock::now() - t0;
-        const double rate =
-            static_cast<double>(stats.totalRefs()) / dt.count();
-        if (rate > best.refsPerSec) {
-            best.refsPerSec = rate;
-        }
+        const double rate = trialRate(stats.totalRefs(), dt.count());
+        best.refsPerSec = std::max(best.refsPerSec, rate);
         if (rep == 0) {
             std::ostringstream json;
             writeRunStatsJson(json, stats);
@@ -129,6 +156,24 @@ measure(bool fastPath, unsigned iterations, unsigned reps)
             std::ostringstream dump;
             machine.dumpStats(dump);
             best.dump = dump.str();
+        }
+    }
+    return best;
+}
+
+Measurement
+measureLive(bool fastPath, unsigned iterations, unsigned reps)
+{
+    Measurement best;
+    const MachineConfig cfg = perfConfig(fastPath);
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        // A fresh workload per rep: the coroutines are one-shot.
+        FlcResweepWorkload w(cfg.numNodes, iterations);
+        const Measurement m = measureRuns(cfg, w, 1);
+        best.refsPerSec = std::max(best.refsPerSec, m.refsPerSec);
+        if (rep == 0) {
+            best.json = m.json;
+            best.dump = m.dump;
         }
     }
     return best;
@@ -152,30 +197,71 @@ main()
 
     constexpr unsigned iterations = 1500;
     constexpr unsigned reps = 3;
-    const Measurement slow = measure(false, iterations, reps);
-    const Measurement fast = measure(true, iterations, reps);
+    const Measurement slow = measureLive(false, iterations, reps);
+    const Measurement fast = measureLive(true, iterations, reps);
+
+    // Third mode: record the reference streams once, then replay the
+    // packed trace — the mmapped array replaces both the workload
+    // algorithm and the per-reference coroutine machinery.
+    const std::string traceFile =
+        (std::filesystem::temp_directory_path() /
+         ("vcoma_perf_core." + std::to_string(::getpid()) + ".vctrace"))
+            .string();
+    Measurement replay;
+    {
+        const MachineConfig cfg = perfConfig(true);
+        FlcResweepWorkload live(cfg.numNodes, iterations);
+        RecordingWorkload recorder(live, traceFile, "perf_core");
+        Machine machine(cfg);
+        machine.run(recorder);
+        if (!recorder.finalize()) {
+            std::cerr << "FAIL: could not record the perf-core trace\n";
+            return 1;
+        }
+        ReplayWorkload replayed(traceFile);
+        replay = measureRuns(cfg, replayed, reps);
+    }
+    std::filesystem::remove(traceFile);
 
     std::cout << "fast path off: " << static_cast<std::uint64_t>(
                      slow.refsPerSec) << " refs/sec\n"
               << "fast path on:  " << static_cast<std::uint64_t>(
                      fast.refsPerSec) << " refs/sec\n"
+              << "trace replay:  " << static_cast<std::uint64_t>(
+                     replay.refsPerSec) << " refs/sec\n"
               << "speedup:       " << fast.refsPerSec / slow.refsPerSec
-              << "x\n";
+              << "x (fast/slow), "
+              << replay.refsPerSec / fast.refsPerSec
+              << "x (replay/fast)\n";
 
     report.metric("refs_per_sec_slow", slow.refsPerSec);
     report.metric("refs_per_sec_fast", fast.refsPerSec);
+    report.metric("refs_per_sec_replay", replay.refsPerSec);
     report.metric("speedup", fast.refsPerSec / slow.refsPerSec);
+    report.metric("replay_speedup",
+                  replay.refsPerSec / fast.refsPerSec);
     report.finish(nullptr);
 
+    bool ok = true;
     if (fast.json != slow.json || fast.dump != slow.dump) {
         std::cerr << "FAIL: fast-path run diverged from the slow-path "
                      "run\n";
         if (fast.json != slow.json)
             std::cerr << "RunStats JSON differs:\n  slow: " << slow.json
                       << "\n  fast: " << fast.json << "\n";
-        return 1;
+        ok = false;
     }
-    std::cout << "\n[statistics identical with the fast path on and "
-                 "off]\n";
+    if (replay.json != fast.json || replay.dump != fast.dump) {
+        std::cerr << "FAIL: replay run diverged from the live run\n";
+        if (replay.json != fast.json)
+            std::cerr << "RunStats JSON differs:\n  live:   "
+                      << fast.json << "\n  replay: " << replay.json
+                      << "\n";
+        ok = false;
+    }
+    if (!ok)
+        return 1;
+    std::cout << "\n[statistics identical across slow path, fast path "
+                 "and trace replay]\n";
     return 0;
 }

@@ -13,6 +13,7 @@
 #define VCOMA_BENCH_BENCH_UTIL_HH
 
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -74,8 +75,13 @@ class BenchReport
             out << ",\"metrics\":{";
             bool first = true;
             for (const auto &[key, value] : metrics_) {
+                // inf/nan are not JSON; null keeps the file parsable.
                 out << (first ? "" : ",") << "\""
-                    << vcoma::jsonEscape(key) << "\":" << value;
+                    << vcoma::jsonEscape(key) << "\":";
+                if (std::isfinite(value))
+                    out << value;
+                else
+                    out << "null";
                 first = false;
             }
             out << "}";

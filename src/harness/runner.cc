@@ -22,7 +22,9 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sim/machine.hh"
+#include "sim/memref_pack.hh"
 #include "translation/system_builder.hh"
+#include "workloads/replay.hh"
 #include "workloads/workload.hh"
 
 namespace vcoma
@@ -84,7 +86,8 @@ ExperimentConfig::key() const
     return os.str();
 }
 
-Runner::Runner(std::string cacheDir) : cacheDir_(std::move(cacheDir))
+Runner::Runner(std::string cacheDir)
+    : cacheDir_(std::move(cacheDir)), traceDir_(envTraceDir())
 {
     if (!cacheDir_.empty()) {
         std::error_code ec;
@@ -98,6 +101,19 @@ Runner::Runner(std::string cacheDir) : cacheDir_(std::move(cacheDir))
     if (!cacheDir_.empty()) {
         if (const std::uint64_t maxBytes = envCacheMaxBytes())
             pruneCache(cacheDir_, maxBytes);
+    }
+    if (!traceDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(traceDir_, ec);
+        if (ec) {
+            warn("cannot create trace dir '", traceDir_,
+                 "': record/replay disabled");
+            traceDir_.clear();
+        }
+    }
+    if (!traceDir_.empty()) {
+        if (const std::uint64_t maxBytes = envTraceMaxBytes())
+            pruneTraces(traceDir_, maxBytes);
     }
 }
 
@@ -132,10 +148,14 @@ Runner::envJobs()
     return ThreadPool::defaultThreads();
 }
 
-std::uint64_t
-Runner::envCacheMaxBytes()
+namespace
 {
-    const char *s = std::getenv("VCOMA_CACHE_MAX_MB");
+
+/** Parse a megabyte budget env var into bytes; 0 = unlimited. */
+std::uint64_t
+envMegabytes(const char *name)
+{
+    const char *s = std::getenv(name);
     if (!s || !*s)
         return 0;
     const char *p = s;
@@ -144,8 +164,7 @@ Runner::envCacheMaxBytes()
     char *end = nullptr;
     const unsigned long long mb = std::strtoull(p, &end, 10);
     if (*p == '-' || end == p || *end != '\0') {
-        warn("unparsable VCOMA_CACHE_MAX_MB='", s,
-             "': cache left unbounded");
+        warn("unparsable ", name, "='", s, "': left unbounded");
         return 0;
     }
     constexpr std::uint64_t mib = 1024 * 1024;
@@ -154,8 +173,17 @@ Runner::envCacheMaxBytes()
     return mb * mib;
 }
 
+/**
+ * Shared pruning policy for the result cache and the trace dir:
+ * delete oldest-mtime `*<extension>` files until the survivors fit
+ * the budget. Equal mtimes — the common case inside one batch sweep,
+ * where many entries land within the filesystem's timestamp
+ * granularity — are ordered by file name so the victim choice is
+ * deterministic and never depends on directory iteration order.
+ */
 unsigned
-Runner::pruneCache(const std::string &dir, std::uint64_t maxBytes)
+pruneOldest(const std::string &dir, std::uint64_t maxBytes,
+            const char *extension, const char *what)
 {
     namespace fs = std::filesystem;
     struct Entry
@@ -168,7 +196,8 @@ Runner::pruneCache(const std::string &dir, std::uint64_t maxBytes)
     std::uint64_t total = 0;
     std::error_code ec;
     for (const auto &de : fs::directory_iterator(dir, ec)) {
-        if (!de.is_regular_file(ec) || de.path().extension() != ".txt")
+        if (!de.is_regular_file(ec) ||
+            de.path().extension() != extension)
             continue;
         const auto mtime = de.last_write_time(ec);
         if (ec)
@@ -182,13 +211,13 @@ Runner::pruneCache(const std::string &dir, std::uint64_t maxBytes)
     if (total <= maxBytes)
         return 0;
 
-    // Newest first; path as a deterministic tie-break for equal
-    // mtimes (coarse filesystem timestamp granularity).
+    // Newest first; file name as the deterministic tie-break for
+    // equal mtimes.
     std::sort(entries.begin(), entries.end(),
               [](const Entry &a, const Entry &b) {
                   if (a.mtime != b.mtime)
                       return a.mtime > b.mtime;
-                  return a.path < b.path;
+                  return a.path.filename() < b.path.filename();
               });
     unsigned removed = 0;
     std::uint64_t kept = 0;
@@ -200,14 +229,46 @@ Runner::pruneCache(const std::string &dir, std::uint64_t maxBytes)
         if (fs::remove(e.path, ec))
             ++removed;
         else if (ec)
-            warn("cannot prune cache entry '", e.path.string(), "': ",
+            warn("cannot prune ", what, " '", e.path.string(), "': ",
                  ec.message());
     }
     if (removed)
-        inform("pruned ", removed, " cache entr",
-               removed == 1 ? "y" : "ies", " from '", dir,
-               "' (budget ", maxBytes, " bytes)");
+        inform("pruned ", removed, " ", what, removed == 1 ? "" : "s",
+               " from '", dir, "' (budget ", maxBytes, " bytes)");
     return removed;
+}
+
+} // namespace
+
+std::uint64_t
+Runner::envCacheMaxBytes()
+{
+    return envMegabytes("VCOMA_CACHE_MAX_MB");
+}
+
+std::string
+Runner::envTraceDir()
+{
+    const char *s = std::getenv("VCOMA_TRACE_DIR");
+    return s ? s : "";
+}
+
+std::uint64_t
+Runner::envTraceMaxBytes()
+{
+    return envMegabytes("VCOMA_TRACE_MAX_MB");
+}
+
+unsigned
+Runner::pruneCache(const std::string &dir, std::uint64_t maxBytes)
+{
+    return pruneOldest(dir, maxBytes, ".txt", "cache entry");
+}
+
+unsigned
+Runner::pruneTraces(const std::string &dir, std::uint64_t maxBytes)
+{
+    return pruneOldest(dir, maxBytes, ".vctrace", "recorded trace");
 }
 
 const RunStats &
@@ -381,10 +442,47 @@ Runner::execute(const ExperimentConfig &cfg)
     wp.seed = cfg.seed;
     wp.raytraceV2Layout = cfg.raytraceV2;
 
+    // Record/replay ($VCOMA_TRACE_DIR): the first execution of a
+    // config records the packed memref streams its workload produced;
+    // later executions mmap and replay them, skipping the workload
+    // algorithm entirely. An unusable trace (corrupt, truncated,
+    // version- or key-mismatched) is rejected with a warning and the
+    // run falls back to live generation, re-recording over it —
+    // never a crash, never a silent partial replay.
+    std::string tracePath;
+    if (!traceDir_.empty())
+        tracePath = traceDir_ + "/" + cfg.key() + ".vctrace";
+
     try {
         Machine machine(mc);
-        auto workload = makeWorkload(cfg.workload, wp);
-        RunStats stats = machine.run(*workload);
+        std::unique_ptr<Workload> workload;
+        if (!tracePath.empty() &&
+            std::filesystem::exists(tracePath)) {
+            try {
+                auto replay = std::make_unique<ReplayWorkload>(tracePath);
+                if (replay->recordedKey() != cfg.key()) {
+                    warn("trace '", tracePath, "' was recorded for key ",
+                         replay->recordedKey(), ", not ", cfg.key(),
+                         ": regenerating");
+                } else {
+                    workload = std::move(replay);
+                }
+            } catch (const TraceFormatError &e) {
+                warn(e.what(), ": regenerating");
+            }
+        }
+        std::unique_ptr<RecordingWorkload> recording;
+        if (!workload) {
+            workload = makeWorkload(cfg.workload, wp);
+            if (!tracePath.empty()) {
+                recording = std::make_unique<RecordingWorkload>(
+                    *workload, tracePath, cfg.key());
+            }
+        }
+        RunStats stats =
+            machine.run(recording ? *recording : *workload);
+        if (recording)
+            recording->finalize();
         if (!cfg.injectFault.empty())
             applyConfiguredFault(machine, cfg);
         return stats;

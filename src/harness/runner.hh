@@ -159,15 +159,41 @@ class Runner
     static std::uint64_t envCacheMaxBytes();
 
     /**
+     * Reference-trace directory from $VCOMA_TRACE_DIR; empty string
+     * (the default) disables record/replay. When set, the first
+     * execution of a config records its packed memref trace under
+     * `<dir>/<cache key>.vctrace`, and later executions of the same
+     * config replay the trace instead of re-running the workload
+     * algorithm (see DESIGN.md "Packed memref traces").
+     */
+    static std::string envTraceDir();
+
+    /** Trace-dir budget from $VCOMA_TRACE_MAX_MB in bytes; 0 = unlimited. */
+    static std::uint64_t envTraceMaxBytes();
+
+    /**
      * Delete the oldest-mtime cache entries (*.txt files) in @p dir
      * until the survivors fit in @p maxBytes. Files that are not
      * cache entries — subdirectories, in-flight *.tmp.* stagings,
      * anything a user dropped in the directory — are never touched.
-     * Runs at Runner construction when $VCOMA_CACHE_MAX_MB is set.
+     * Ties on mtime (common within one batch sweep: filesystem
+     * timestamps are coarse) break deterministically by file name,
+     * oldest-name-last, so pruning never depends on directory
+     * iteration order. Runs at Runner construction when
+     * $VCOMA_CACHE_MAX_MB is set.
      * @return the number of entries removed.
      */
     static unsigned pruneCache(const std::string &dir,
                                std::uint64_t maxBytes);
+
+    /**
+     * Same policy over recorded traces (*.vctrace files): oldest
+     * mtime first, name as the deterministic tie-break. Runs at
+     * Runner construction when $VCOMA_TRACE_DIR and
+     * $VCOMA_TRACE_MAX_MB are both set.
+     */
+    static unsigned pruneTraces(const std::string &dir,
+                                std::uint64_t maxBytes);
 
     /** Simulations actually executed (not served from cache). */
     unsigned executed() const { return executed_.load(); }
@@ -186,6 +212,8 @@ class Runner
                        const std::string &key, const std::string &error);
 
     std::string cacheDir_;
+    /** $VCOMA_TRACE_DIR at construction; empty = record/replay off. */
+    std::string traceDir_;
     mutable std::mutex mutex_; ///< guards memo_ and failed_
     std::map<std::string, RunStats> memo_;
     std::map<std::string, FailedRun> failed_;

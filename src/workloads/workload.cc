@@ -9,6 +9,13 @@
 namespace vcoma
 {
 
+std::span<const MemRef>
+Workload::stream(unsigned tid)
+{
+    fatal("workload '", name(), "' has no materialised stream for "
+          "thread ", tid, " (materialised() is false)");
+}
+
 const std::vector<std::string> &
 workloadNames()
 {

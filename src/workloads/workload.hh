@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "sim/generator.hh"
@@ -81,6 +82,21 @@ class Workload
 
     /** The workload's virtual address space (footprint, layout). */
     virtual const AddressSpace &space() const = 0;
+
+    /**
+     * True when the per-thread streams exist as materialised arrays
+     * served by stream(). The simulation kernel then walks the array
+     * directly — no coroutine per reference — which is what makes
+     * trace replay fast. Execution-driven workloads return false.
+     */
+    virtual bool materialised() const { return false; }
+
+    /**
+     * Materialised stream of thread @p tid, valid for this object's
+     * lifetime. Only meaningful when materialised() is true; the
+     * default fatal()s.
+     */
+    virtual std::span<const MemRef> stream(unsigned tid);
 
     /** Total shared bytes (Table 1's "Shared Memory" column). */
     std::uint64_t sharedBytes() const { return space().totalBytes(); }

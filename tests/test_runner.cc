@@ -555,6 +555,93 @@ TEST(Runner, PruneCacheNeverTouchesForeignFiles)
         std::filesystem::exists(tmp.path / "subdir" / "nested.txt"));
 }
 
+TEST(Runner, PruneCacheBreaksEqualMtimesByName)
+{
+    // Entries written within one batch sweep routinely share an mtime
+    // (filesystem timestamps are coarse); the victim choice must then
+    // depend on the file name only, never on directory iteration
+    // order. Equal-mtime entries survive in name order: the earliest
+    // names are kept, the latest pruned.
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path);
+    // Deliberately planted in scrambled order, then pinned to one
+    // shared mtime (plantCacheFile's per-call "now" would differ by
+    // microseconds and dodge the tie).
+    const auto stamp = std::filesystem::file_time_type::clock::now() -
+                       std::chrono::hours(1);
+    for (const char *name : {"c.txt", "a.txt", "d.txt", "b.txt"}) {
+        plantCacheFile(tmp.path / name, 1000, 1);
+        std::filesystem::last_write_time(tmp.path / name, stamp);
+    }
+
+    EXPECT_EQ(Runner::pruneCache(tmp.path.string(), 2000), 2u);
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "a.txt"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "b.txt"));
+    EXPECT_FALSE(std::filesystem::exists(tmp.path / "c.txt"));
+    EXPECT_FALSE(std::filesystem::exists(tmp.path / "d.txt"));
+}
+
+TEST(Runner, PruneCacheMtimeStillBeatsName)
+{
+    // The name is only the tie-break: a strictly older entry is
+    // pruned first however late its name sorts.
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path);
+    plantCacheFile(tmp.path / "z_old.txt", 1000, 5);
+    plantCacheFile(tmp.path / "a_new.txt", 1000, 1);
+    EXPECT_EQ(Runner::pruneCache(tmp.path.string(), 1000), 1u);
+    EXPECT_FALSE(std::filesystem::exists(tmp.path / "z_old.txt"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "a_new.txt"));
+}
+
+TEST(Runner, PruneTracesOnlyTouchesTraceFiles)
+{
+    // The trace dir shares the pruning policy but its own extension:
+    // *.vctrace files are fair game, anything else is not.
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path);
+    plantCacheFile(tmp.path / "old.vctrace", 5000, 3);
+    plantCacheFile(tmp.path / "new.vctrace", 5000, 1);
+    plantCacheFile(tmp.path / "entry.txt", 100, 9);
+    plantCacheFile(tmp.path / "trace.vctrace.tmp.1234", 100, 9);
+
+    EXPECT_EQ(Runner::pruneTraces(tmp.path.string(), 5000), 1u);
+    EXPECT_FALSE(std::filesystem::exists(tmp.path / "old.vctrace"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "new.vctrace"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "entry.txt"));
+    EXPECT_TRUE(std::filesystem::exists(
+        tmp.path / "trace.vctrace.tmp.1234"));
+}
+
+TEST(Runner, PruneTracesBreaksEqualMtimesByName)
+{
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path);
+    const auto stamp = std::filesystem::file_time_type::clock::now() -
+                       std::chrono::hours(1);
+    for (const char *name : {"beta.vctrace", "alpha.vctrace"}) {
+        plantCacheFile(tmp.path / name, 1000, 1);
+        std::filesystem::last_write_time(tmp.path / name, stamp);
+    }
+    EXPECT_EQ(Runner::pruneTraces(tmp.path.string(), 1000), 1u);
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "alpha.vctrace"));
+    EXPECT_FALSE(std::filesystem::exists(tmp.path / "beta.vctrace"));
+}
+
+TEST(Runner, ConstructionPrunesAnOversizedTraceDir)
+{
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path);
+    plantCacheFile(tmp.path / "old.vctrace", 700 * 1024, 2);
+    plantCacheFile(tmp.path / "new.vctrace", 700 * 1024, 1);
+
+    EnvGuard dir("VCOMA_TRACE_DIR", tmp.path.string().c_str());
+    EnvGuard budget("VCOMA_TRACE_MAX_MB", "1");
+    Runner runner("");
+    EXPECT_FALSE(std::filesystem::exists(tmp.path / "old.vctrace"));
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "new.vctrace"));
+}
+
 TEST(Runner, EnvCacheMaxBytesParsesStrictly)
 {
     constexpr std::uint64_t mib = 1024 * 1024;
