@@ -313,6 +313,37 @@ Runner::tryRun(const ExperimentConfig &cfg, bool *freshlyExecuted)
     return &memo_.emplace(key, std::move(stats)).first->second;
 }
 
+std::size_t
+Runner::preloadCache()
+{
+    if (cacheDir_.empty())
+        return 0;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::size_t loaded = 0;
+    for (const fs::directory_entry &de :
+         fs::directory_iterator(cacheDir_, ec)) {
+        if (ec)
+            break;
+        if (!de.is_regular_file(ec) ||
+            de.path().extension() != ".txt")
+            continue;
+        const std::string key = de.path().stem().string();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (memo_.count(key))
+                continue;
+        }
+        RunStats stats;
+        if (!load(de.path().string(), stats))
+            continue;  // truncated/foreign file: not an error
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (memo_.emplace(key, std::move(stats)).second)
+            ++loaded;
+    }
+    return loaded;
+}
+
 void
 Runner::executeAndMemoise(const ExperimentConfig &cfg,
                           const std::string &key)

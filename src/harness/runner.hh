@@ -140,6 +140,16 @@ class Runner
     std::vector<const RunStats *>
     runAll(std::span<const ExperimentConfig> cfgs);
 
+    /**
+     * Warm the in-memory memo from every readable disk-cache entry
+     * (*.txt under the cache directory; the key is the file stem).
+     * A restarted farm worker calls this to recover its warm state
+     * from the durable layer instead of re-simulating its slice.
+     * Unreadable or truncated entries are skipped, never fatal.
+     * @return the number of entries loaded into the memo.
+     */
+    std::size_t preloadCache();
+
     /** Every failed config recorded so far, in key order. */
     std::vector<FailedRun> failures() const;
 

@@ -1,0 +1,100 @@
+#include "service/chaos.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+std::string
+ChaosSpec::describe() const
+{
+    if (!enabled)
+        return "off";
+    std::ostringstream os;
+    os << "seed=" << seed << " drop=" << dropP << " delay=" << delayP
+       << " delay-ms=" << delayMs << " kill=" << killP;
+    return os.str();
+}
+
+namespace
+{
+
+double
+probability(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double p = std::strtod(value.c_str(), &end);
+    if (value.empty() || *end != '\0' || !(p >= 0.0) || p > 1.0)
+        fatal("chaos spec: '", key, "=", value,
+              "' is not a probability in [0,1]");
+    return p;
+}
+
+std::uint64_t
+counting(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0')
+        fatal("chaos spec: '", key, "=", value,
+              "' is not a non-negative integer");
+    return v;
+}
+
+} // namespace
+
+ChaosSpec
+parseChaosSpec(const std::string &spec)
+{
+    ChaosSpec out;
+    out.enabled = true;
+    if (spec.find('=') == std::string::npos) {
+        // Bare truthy value: mild connection chaos, never self-kill.
+        out.dropP = 0.02;
+        out.delayP = 0.05;
+        return out;
+    }
+    std::istringstream is(spec);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("chaos spec: '", item, "' is not key=value");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "seed")
+            out.seed = counting(key, value);
+        else if (key == "drop")
+            out.dropP = probability(key, value);
+        else if (key == "delay")
+            out.delayP = probability(key, value);
+        else if (key == "delay-ms" || key == "delayms")
+            out.delayMs = counting(key, value);
+        else if (key == "kill")
+            out.killP = probability(key, value);
+        else
+            fatal("chaos spec: unknown key '", key, "'");
+    }
+    return out;
+}
+
+ChaosSpec
+chaosSpecFromEnv()
+{
+    const char *s = std::getenv("VCOMA_CHAOS");
+    if (!s || !*s)
+        return {};
+    const std::string spec(s);
+    if (spec.find('=') == std::string::npos && !envTruthy("VCOMA_CHAOS"))
+        return {};
+    return parseChaosSpec(spec);
+}
+
+} // namespace vcoma

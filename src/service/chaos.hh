@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Service-tier chaos injection, the FaultInjector philosophy applied
+ * to the farm: a worker daemon started with $VCOMA_CHAOS randomly
+ * delays requests, drops fresh connections, or SIGKILLs itself, all
+ * driven by one seeded RNG so a given seed exercises the same
+ * recovery paths on every run (deterministic for a serial request
+ * stream; concurrent connections interleave their draws).
+ *
+ * Spec grammar (comma-separated key=value pairs):
+ *
+ *   VCOMA_CHAOS="seed=42,drop=0.05,delay=0.2,delay-ms=25,kill=0.002"
+ *
+ *   seed      RNG seed (default 1)
+ *   drop      P(close an accepted connection immediately)  [0,1]
+ *   delay     P(stall a request by delay-ms before serving) [0,1]
+ *   delay-ms  stall length in milliseconds (default 25)
+ *   kill      P(SIGKILL the whole process before a request) [0,1]
+ *
+ * A bare truthy value ("1", "true") enables mild connection chaos
+ * (drop=0.02, delay=0.05) with no self-kill — kill is always opt-in.
+ */
+
+#ifndef VCOMA_SERVICE_CHAOS_HH
+#define VCOMA_SERVICE_CHAOS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.hh"
+
+namespace vcoma
+{
+
+/** Parsed $VCOMA_CHAOS knob; default-constructed means "off". */
+struct ChaosSpec
+{
+    bool enabled = false;
+    std::uint64_t seed = 1;
+    double dropP = 0.0;   ///< P(drop an accepted connection)
+    double delayP = 0.0;  ///< P(stall a request)
+    std::uint64_t delayMs = 25;
+    double killP = 0.0;   ///< P(SIGKILL self before a request)
+
+    /** Human-readable form for startup logging. */
+    std::string describe() const;
+};
+
+/**
+ * Parse a $VCOMA_CHAOS value. Throws FatalError on malformed input
+ * (unknown key, probability outside [0,1]) — a typo must not
+ * silently run without chaos in a chaos-testing CI job.
+ */
+ChaosSpec parseChaosSpec(const std::string &spec);
+
+/** ChaosSpec from $VCOMA_CHAOS; disabled when unset/falsy. */
+ChaosSpec chaosSpecFromEnv();
+
+/**
+ * The sampling side: one seeded RNG behind a mutex. The caller acts
+ * on the verdicts (closing fds, sleeping, raising SIGKILL) so the
+ * monkey itself stays side-effect-free and unit-testable.
+ */
+class ChaosMonkey
+{
+  public:
+    explicit ChaosMonkey(ChaosSpec spec)
+        : spec_(spec), rng_(spec.seed)
+    {
+    }
+
+    const ChaosSpec &spec() const { return spec_; }
+
+    /** Should this freshly accepted connection be dropped? */
+    bool dropConnection() { return roll(spec_.dropP); }
+
+    /** Milliseconds to stall the next request (0 = no stall). */
+    std::uint64_t requestDelayMs()
+    {
+        return roll(spec_.delayP) ? spec_.delayMs : 0;
+    }
+
+    /** Should the process kill itself before serving this request? */
+    bool killNow() { return roll(spec_.killP); }
+
+  private:
+    bool roll(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        std::lock_guard<std::mutex> lock(mutex_);
+        return rng_.uniform() < p;
+    }
+
+    ChaosSpec spec_;
+    std::mutex mutex_;
+    Rng rng_;
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_SERVICE_CHAOS_HH

@@ -1,11 +1,10 @@
 #include "service/client.hh"
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <thread>
@@ -17,54 +16,132 @@
 namespace vcoma
 {
 
-ServiceClient::ServiceClient(const std::string &socketPath, int timeoutMs)
+namespace
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (socketPath.size() >= sizeof(addr.sun_path))
-        fatal("socket path '", socketPath, "' exceeds the ",
-              sizeof(addr.sun_path) - 1, "-byte AF_UNIX limit");
-    std::strncpy(addr.sun_path, socketPath.c_str(),
-                 sizeof(addr.sun_path) - 1);
 
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(timeoutMs);
-    int lastErr = 0;
-    for (;;) {
-        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        if (fd_ < 0)
-            fatal("cannot create socket: ", std::strerror(errno));
-        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                      sizeof(addr)) == 0)
-            return;
-        lastErr = errno;
-        ::close(fd_);
-        fd_ = -1;
-        if (std::chrono::steady_clock::now() >= deadline)
-            break;
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+std::uint64_t
+envCount(const char *name, std::uint64_t fallback)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0') {
+        warn(name, "='", s, "' is not a number; using ", fallback);
+        return fallback;
     }
-    fatal("cannot connect to '", socketPath,
-          "': ", std::strerror(lastErr));
+    return v;
+}
+
+} // namespace
+
+ClientOptions
+ServiceClient::optionsFromEnv()
+{
+    ClientOptions opts;
+    opts.requestTimeoutMs = static_cast<int>(envCount(
+        "VCOMA_REQUEST_TIMEOUT_MS",
+        static_cast<std::uint64_t>(opts.requestTimeoutMs)));
+    opts.maxRetries = static_cast<unsigned>(
+        envCount("VCOMA_RETRY_MAX", opts.maxRetries));
+    opts.backoffBaseMs =
+        envCount("VCOMA_RETRY_BASE_MS", opts.backoffBaseMs);
+    opts.backoffCapMs =
+        envCount("VCOMA_RETRY_CAP_MS", opts.backoffCapMs);
+    opts.jitterSeed =
+        envCount("VCOMA_RETRY_JITTER_SEED", opts.jitterSeed);
+    return opts;
+}
+
+std::uint64_t
+ServiceClient::backoffDelayMs(unsigned attempt, std::uint64_t baseMs,
+                              std::uint64_t capMs, Rng &rng)
+{
+    std::uint64_t d = capMs;
+    if (attempt < 63) {
+        const std::uint64_t shifted = baseMs << attempt;
+        // A zero base short-circuits; detect shift overflow by
+        // reversing it.
+        if (baseMs == 0)
+            d = 0;
+        else if ((shifted >> attempt) == baseMs && shifted < capMs)
+            d = shifted;
+    }
+    if (d == 0)
+        return 0;
+    // Uniform in [d/2, d]: enough spread to de-synchronise a fleet
+    // of retrying clients, bounded so tests can pin the schedule.
+    const std::uint64_t lo = d / 2;
+    return lo + rng.below(d - lo + 1);
+}
+
+ServiceClient::ServiceClient(const std::string &endpoint,
+                             ClientOptions opts)
+    : ep_(parseEndpoint(endpoint)), opts_(opts),
+      jitter_(opts.jitterSeed)
+{
+    ignoreSigpipe();
+    connectOrThrow();
+}
+
+ServiceClient::ServiceClient(const std::string &endpoint,
+                             int connectTimeoutMs)
+    : ServiceClient(endpoint, [&] {
+          ClientOptions opts = optionsFromEnv();
+          opts.connectTimeoutMs = connectTimeoutMs;
+          return opts;
+      }())
+{
 }
 
 ServiceClient::~ServiceClient()
 {
-    if (fd_ >= 0)
+    disconnect();
+}
+
+void
+ServiceClient::connectOrThrow()
+{
+    disconnect();
+    std::string error;
+    fd_ = tryConnectEndpoint(ep_, opts_.connectTimeoutMs, &error);
+    if (fd_ < 0)
+        fatal(error);
+    setIoDeadlines(fd_, opts_.requestTimeoutMs, opts_.requestTimeoutMs);
+    pending_.clear();
+    broken_ = false;
+}
+
+void
+ServiceClient::disconnect()
+{
+    if (fd_ >= 0) {
         ::close(fd_);
+        fd_ = -1;
+    }
+    pending_.clear();
+    broken_ = true;
 }
 
 void
 ServiceClient::sendAll(const std::string &data)
 {
-    std::size_t off = 0;
-    while (off < data.size()) {
-        const ssize_t sent = ::send(fd_, data.data() + off,
-                                    data.size() - off, MSG_NOSIGNAL);
-        if (sent <= 0)
-            fatal("service connection lost while sending: ",
-                  std::strerror(errno));
-        off += static_cast<std::size_t>(sent);
+    switch (vcoma::sendAll(fd_, data)) {
+      case IoStatus::Ok:
+        return;
+      case IoStatus::TimedOut:
+        broken_ = true;
+        throw ServiceTimeout("request timed out while sending to '" +
+                             ep_.str() + "'");
+      case IoStatus::Closed:
+        broken_ = true;
+        throw ServiceIoError("service connection to '" + ep_.str() +
+                             "' lost while sending");
+      case IoStatus::Error:
+        broken_ = true;
+        throw ServiceIoError("send to '" + ep_.str() +
+                             "' failed: " + std::strerror(errno));
     }
 }
 
@@ -74,23 +151,75 @@ ServiceClient::recvLine()
     for (;;) {
         const std::size_t nl = pending_.find('\n');
         if (nl != std::string::npos) {
+            if (nl > opts_.maxLineBytes) {
+                broken_ = true;
+                throw ServiceIoError(
+                    "reply line from '" + ep_.str() + "' exceeds " +
+                    std::to_string(opts_.maxLineBytes) + " bytes");
+            }
             std::string line = pending_.substr(0, nl);
             pending_.erase(0, nl + 1);
             return line;
         }
-        char chunk[4096];
-        const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
-        if (got <= 0)
-            fatal("service connection closed mid-reply");
-        pending_.append(chunk, static_cast<std::size_t>(got));
+        if (pending_.size() > opts_.maxLineBytes) {
+            broken_ = true;
+            throw ServiceIoError(
+                "reply line from '" + ep_.str() + "' exceeds " +
+                std::to_string(opts_.maxLineBytes) + " bytes");
+        }
+        switch (recvSome(fd_, pending_)) {
+          case IoStatus::Ok:
+            break;
+          case IoStatus::TimedOut:
+            broken_ = true;
+            throw ServiceTimeout(
+                "request to '" + ep_.str() + "' timed out after " +
+                std::to_string(opts_.requestTimeoutMs) + " ms");
+          case IoStatus::Closed:
+          case IoStatus::Error:
+            broken_ = true;
+            throw ServiceIoError("service connection to '" +
+                                 ep_.str() + "' closed mid-reply");
+        }
     }
 }
 
 std::string
 ServiceClient::request(const std::string &line)
 {
+    // A previous timeout leaves the stream desynchronised (the stale
+    // reply may still arrive); start from a fresh connection.
+    if (broken_ || fd_ < 0)
+        connectOrThrow();
     sendAll(line + "\n");
     return recvLine();
+}
+
+std::string
+ServiceClient::requestWithRetry(const std::string &line)
+{
+    std::exception_ptr last;
+    for (unsigned attempt = 0; attempt <= opts_.maxRetries;
+         ++attempt) {
+        if (attempt) {
+            const std::uint64_t stall = backoffDelayMs(
+                attempt - 1, opts_.backoffBaseMs, opts_.backoffCapMs,
+                jitter_);
+            if (stall)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(stall));
+        }
+        try {
+            return request(line);
+        } catch (const ServiceIoError &) {
+            last = std::current_exception();
+        } catch (const FatalError &) {
+            // Reconnect failed (daemon restarting); keep trying.
+            last = std::current_exception();
+        }
+        disconnect();
+    }
+    std::rethrow_exception(last);
 }
 
 bool
@@ -125,16 +254,56 @@ ServiceClient::outcomeFromReply(const JsonValue &v)
     return out;
 }
 
-ServiceClient::Outcome
-ServiceClient::run(const ExperimentConfig &cfg, int priority,
-                   std::uint64_t deadlineMs)
+std::string
+ServiceClient::runRequestLine(const ExperimentConfig &cfg,
+                              int priority, std::uint64_t deadlineMs)
 {
     std::ostringstream os;
     os << "{\"op\":\"run\",\"priority\":" << priority
        << ",\"deadlineMs\":" << deadlineMs << ",\"config\":";
     writeConfigJson(os, cfg);
     os << "}";
-    return outcomeFromReply(JsonValue::parse(request(os.str())));
+    return os.str();
+}
+
+ServiceClient::Outcome
+ServiceClient::run(const ExperimentConfig &cfg, int priority,
+                   std::uint64_t deadlineMs)
+{
+    try {
+        return outcomeFromReply(JsonValue::parse(
+            request(runRequestLine(cfg, priority, deadlineMs))));
+    } catch (const ServiceTimeout &e) {
+        Outcome out;
+        out.timedOut = true;
+        out.error = e.what();
+        return out;
+    } catch (const ServiceIoError &e) {
+        Outcome out;
+        out.error = e.what();
+        return out;
+    }
+}
+
+ServiceClient::Outcome
+ServiceClient::runResilient(const ExperimentConfig &cfg, int priority,
+                            std::uint64_t deadlineMs)
+{
+    try {
+        return outcomeFromReply(JsonValue::parse(requestWithRetry(
+            runRequestLine(cfg, priority, deadlineMs))));
+    } catch (const ServiceTimeout &e) {
+        Outcome out;
+        out.timedOut = true;
+        out.error = e.what();
+        return out;
+    } catch (const std::exception &e) {
+        // ServiceIoError or a reconnect FatalError: every attempt
+        // failed; surface the last error as a typed outcome.
+        Outcome out;
+        out.error = e.what();
+        return out;
+    }
 }
 
 std::vector<ServiceClient::Outcome>

@@ -1,10 +1,19 @@
 /**
  * @file
  * Client side of the simulation service: connects to a vcoma_served
- * Unix-domain socket, frames line-delimited JSON requests, and
- * unpacks replies. Used by the vcoma_client CLI and by the service
+ * worker or a farm router (AF_UNIX path or "tcp:host:port"), frames
+ * line-delimited JSON requests, and unpacks replies. Used by the
+ * vcoma_client CLI, the farm router's worker links, and the service
  * tests; one ServiceClient is one connection (not thread-safe —
  * concurrent callers each open their own).
+ *
+ * Resilience: every request runs under kernel send/recv deadlines
+ * (ClientOptions::requestTimeoutMs), so a hung server surfaces as a
+ * typed ServiceTimeout instead of blocking forever. runResilient()
+ * adds bounded retries with exponential backoff + deterministic
+ * jitter, reconnecting on EPIPE/reset/close between attempts —
+ * simulations are idempotent (cache-keyed, exactly-once-via-cache),
+ * so resubmitting after a worker death is safe and byte-identical.
  */
 
 #ifndef VCOMA_SERVICE_CLIENT_HH
@@ -15,12 +24,39 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hh"
 #include "harness/runner.hh"
+#include "service/transport.hh"
 
 namespace vcoma
 {
 
 class JsonValue;
+
+/** Connection/retry knobs; optionsFromEnv() reads the VCOMA_* set. */
+struct ClientOptions
+{
+    /** Connect deadline (a daemon still binding wins the race). */
+    int connectTimeoutMs = 5000;
+    /**
+     * Per-request send/recv inactivity deadline; a server that
+     * neither reads nor replies within it yields ServiceTimeout.
+     * The default is deliberately generous — a reply only arrives
+     * once the simulation finishes, so this bounds "hung", not
+     * "slow"; raise it (or $VCOMA_REQUEST_TIMEOUT_MS) for
+     * paper-scale sweeps. 0 = wait forever.
+     */
+    int requestTimeoutMs = 300000;
+    /** Extra attempts in runResilient()/requestWithRetry(). */
+    unsigned maxRetries = 4;
+    /** Backoff schedule: min(cap, base << attempt), jittered. */
+    std::uint64_t backoffBaseMs = 50;
+    std::uint64_t backoffCapMs = 2000;
+    /** Jitter RNG seed (deterministic backoff in tests). */
+    std::uint64_t jitterSeed = 1;
+    /** Reject reply lines longer than this (misbehaving server). */
+    std::size_t maxLineBytes = 64u << 20;
+};
 
 class ServiceClient
 {
@@ -33,31 +69,75 @@ class ServiceClient
         bool shed = false;
         /** Served without a fresh simulation. */
         bool cached = false;
+        /** The request's I/O deadline expired (hung/dead server). */
+        bool timedOut = false;
         /** Exact writeRunStatsJson() bytes of the sheet (ok only). */
         std::string statsJson;
         std::string error;
     };
 
     /**
-     * Connect to @p socketPath, retrying until @p timeoutMs elapses
-     * (a daemon that is still binding its socket wins the race).
-     * Throws FatalError when the deadline passes.
+     * Connect to @p endpoint, retrying until the connect deadline
+     * elapses. Throws FatalError when the deadline passes.
      */
-    ServiceClient(const std::string &socketPath, int timeoutMs = 5000);
+    explicit ServiceClient(const std::string &endpoint,
+                           ClientOptions opts);
+    ServiceClient(const std::string &endpoint, int connectTimeoutMs =
+                                                   5000);
     ~ServiceClient();
 
     ServiceClient(const ServiceClient &) = delete;
     ServiceClient &operator=(const ServiceClient &) = delete;
 
-    /** Round-trip a raw request line; returns the raw reply line. */
+    /**
+     * ClientOptions with $VCOMA_REQUEST_TIMEOUT_MS, $VCOMA_RETRY_MAX,
+     * $VCOMA_RETRY_BASE_MS, $VCOMA_RETRY_CAP_MS and
+     * $VCOMA_RETRY_JITTER_SEED applied over the defaults.
+     */
+    static ClientOptions optionsFromEnv();
+
+    /**
+     * The jittered backoff delay before retry @p attempt (0-based):
+     * uniform in [d/2, d] for d = min(cap, base << attempt).
+     * Exposed so tests can pin the schedule's bounds.
+     */
+    static std::uint64_t backoffDelayMs(unsigned attempt,
+                                        std::uint64_t baseMs,
+                                        std::uint64_t capMs, Rng &rng);
+
+    /**
+     * Round-trip a raw request line; returns the raw reply line.
+     * Throws ServiceTimeout on an expired I/O deadline and
+     * ServiceIoError on a lost connection (one attempt, no retry).
+     */
     std::string request(const std::string &line);
+
+    /**
+     * request() with up to maxRetries reconnect-and-resend attempts
+     * under the backoff schedule. Throws the last error when every
+     * attempt fails.
+     */
+    std::string requestWithRetry(const std::string &line);
 
     /** {"op":"ping"} — true iff the daemon answered pong. */
     bool ping();
 
-    /** Submit one config and wait for its result. */
+    /**
+     * Submit one config and wait for its result. An I/O deadline
+     * expiry comes back as a typed outcome (timedOut, not ok) rather
+     * than an exception or a hang.
+     */
     Outcome run(const ExperimentConfig &cfg, int priority = 0,
                 std::uint64_t deadlineMs = 0);
+
+    /**
+     * run() with retry/reconnect/backoff on timeouts and lost
+     * connections — the farm sweep path. Shed and simulation-failure
+     * replies are terminal (the service answered; retrying would not
+     * change it); only transport failures retry.
+     */
+    Outcome runResilient(const ExperimentConfig &cfg, int priority = 0,
+                         std::uint64_t deadlineMs = 0);
 
     /** Submit a batch; results come back in submission order. */
     std::vector<Outcome> batch(std::span<const ExperimentConfig> cfgs,
@@ -70,12 +150,25 @@ class ServiceClient
     /** Ask the daemon to drain and exit; true on acknowledgement. */
     bool shutdown();
 
+    const ClientOptions &options() const { return opts_; }
+
   private:
+    void connectOrThrow();
+    void disconnect();
     std::string recvLine();
     void sendAll(const std::string &data);
     static Outcome outcomeFromReply(const JsonValue &v);
+    static std::string runRequestLine(const ExperimentConfig &cfg,
+                                      int priority,
+                                      std::uint64_t deadlineMs);
 
+    Endpoint ep_;
+    ClientOptions opts_;
+    Rng jitter_;
     int fd_ = -1;
+    /** A timed-out request leaves the stream desynchronised; the
+     * next attempt must reconnect before reusing the connection. */
+    bool broken_ = false;
     std::string pending_;  ///< bytes received past the last newline
 };
 

@@ -1,0 +1,491 @@
+#include "service/farm.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "service/client.hh"
+#include "service/wire.hh"
+
+namespace vcoma
+{
+
+// ---------------------------------------------------------------------
+// HashRing.
+
+std::uint64_t
+HashRing::hashKey(std::string_view s)
+{
+    // FNV-1a 64-bit plus an avalanche finalizer. Raw FNV clusters
+    // badly on short similar strings ("a#0".."a#63" land within a
+    // few thousand of each other), which would collapse a member's
+    // vnodes into one arc; the fmix64 finalizer spreads them over
+    // the whole ring. Stable across builds — the ring layout is part
+    // of the farm's warm-cache behaviour, not an implementation
+    // detail.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
+HashRing::HashRing(std::vector<std::string> members, unsigned vnodes)
+    : members_(std::move(members))
+{
+    if (members_.empty())
+        fatal("a hash ring needs at least one member");
+    if (vnodes == 0)
+        vnodes = 1;
+    ring_.reserve(members_.size() * vnodes);
+    for (std::size_t i = 0; i < members_.size(); ++i)
+        for (unsigned v = 0; v < vnodes; ++v)
+            ring_.emplace_back(
+                hashKey(members_[i] + "#" + std::to_string(v)), i);
+    std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t
+HashRing::owner(const std::string &key) const
+{
+    const std::uint64_t h = hashKey(key);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const auto &p, std::uint64_t v) { return p.first < v; });
+    if (it == ring_.end())
+        it = ring_.begin();  // wrap: first point clockwise
+    return it->second;
+}
+
+std::vector<std::size_t>
+HashRing::candidates(const std::string &key) const
+{
+    const std::uint64_t h = hashKey(key);
+    auto start = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const auto &p, std::uint64_t v) { return p.first < v; });
+    if (start == ring_.end())
+        start = ring_.begin();
+    std::vector<std::size_t> order;
+    order.reserve(members_.size());
+    std::vector<bool> seen(members_.size(), false);
+    auto it = start;
+    do {
+        if (!seen[it->second]) {
+            seen[it->second] = true;
+            order.push_back(it->second);
+        }
+        ++it;
+        if (it == ring_.end())
+            it = ring_.begin();
+    } while (it != start && order.size() < members_.size());
+    return order;
+}
+
+// ---------------------------------------------------------------------
+// FarmRouter.
+
+ListenerConfig
+FarmRouter::listenerOf(const FarmConfig &cfg)
+{
+    ListenerConfig lcfg;
+    lcfg.endpoint = cfg.endpoint;
+    lcfg.maxLineBytes = cfg.maxLineBytes;
+    lcfg.ioTimeoutMs = cfg.ioTimeoutMs;
+    // Chaos lives in the workers; the router is the recovery layer.
+    return lcfg;
+}
+
+FarmRouter::FarmRouter(FarmConfig cfg)
+    : LineServer(listenerOf(cfg)), cfg_(std::move(cfg)),
+      ring_(cfg_.workers, cfg_.vnodes), backoffRng_(0x5eedULL)
+{
+    workers_.reserve(cfg_.workers.size());
+    for (const std::string &ep : cfg_.workers)
+        workers_.push_back(Worker{ep});
+}
+
+FarmRouter::~FarmRouter()
+{
+    stopAndJoin();
+}
+
+void
+FarmRouter::startFarm()
+{
+    start();
+    heartbeatThread_ = std::thread([this] { heartbeatLoop(); });
+}
+
+void
+FarmRouter::onDrain()
+{
+    heartbeatStop_.store(true);
+    if (heartbeatThread_.joinable())
+        heartbeatThread_.join();
+}
+
+void
+FarmRouter::heartbeatLoop()
+{
+    ClientOptions opts;
+    opts.connectTimeoutMs = cfg_.heartbeatTimeoutMs;
+    opts.requestTimeoutMs = cfg_.heartbeatTimeoutMs;
+    opts.maxRetries = 0;
+    while (!heartbeatStop_.load()) {
+        for (std::size_t i = 0; i < cfg_.workers.size(); ++i) {
+            if (heartbeatStop_.load())
+                return;
+            bool pong = false;
+            try {
+                ServiceClient probe(cfg_.workers[i], opts);
+                pong = probe.ping();
+            } catch (const std::exception &) {
+                pong = false;
+            }
+            std::lock_guard<std::mutex> lock(workersMutex_);
+            Worker &w = workers_[i];
+            if (pong) {
+                w.misses = 0;
+                if (!w.alive) {
+                    w.alive = true;
+                    inform("farm: worker ", w.endpoint, " is back");
+                }
+            } else {
+                ++w.misses;
+                if (w.alive && w.misses >= cfg_.missThreshold) {
+                    w.alive = false;
+                    ++evictions_;
+                    inform("farm: worker ", w.endpoint, " evicted (",
+                           w.misses, " missed heartbeats)");
+                }
+            }
+        }
+        // Sleep in slices so a stop request is honoured promptly.
+        const std::uint64_t until = steadyMs() + cfg_.heartbeatMs;
+        while (!heartbeatStop_.load() && steadyMs() < until)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+    }
+}
+
+std::vector<std::size_t>
+FarmRouter::routeOrder(const std::string &key) const
+{
+    const std::vector<std::size_t> pref = ring_.candidates(key);
+    std::vector<std::size_t> order;
+    order.reserve(pref.size());
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    // Live workers in ring order first; dead ones still trail the
+    // list — when the whole fleet looks down they may simply all be
+    // restarting, and trying beats failing.
+    for (const std::size_t i : pref)
+        if (workers_[i].alive)
+            order.push_back(i);
+    for (const std::size_t i : pref)
+        if (!workers_[i].alive)
+            order.push_back(i);
+    return order;
+}
+
+std::string
+FarmRouter::forwardTo(std::size_t idx, const std::string &line,
+                      int timeoutMs)
+{
+    ClientOptions opts;
+    opts.connectTimeoutMs = cfg_.connectTimeoutMs;
+    opts.requestTimeoutMs = timeoutMs;
+    opts.maxRetries = 0;
+    opts.maxLineBytes = 64u << 20;  // worker replies carry sheets
+    ServiceClient link(cfg_.workers[idx], opts);
+    return link.request(line);
+}
+
+void
+FarmRouter::noteForwardOk(std::size_t idx)
+{
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    Worker &w = workers_[idx];
+    ++w.forwarded;
+    w.misses = 0;
+    if (!w.alive) {
+        w.alive = true;
+        inform("farm: worker ", w.endpoint, " is back");
+    }
+}
+
+void
+FarmRouter::noteForwardFailure(std::size_t idx, bool workerGone)
+{
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    Worker &w = workers_[idx];
+    ++w.failures;
+    if (workerGone && w.alive) {
+        // Connection refused/reset: the worker is gone, not slow —
+        // evict now instead of waiting out the heartbeat threshold.
+        w.alive = false;
+        w.misses = cfg_.missThreshold;
+        ++evictions_;
+        inform("farm: worker ", w.endpoint,
+               " evicted (connection failed)");
+    }
+}
+
+std::string
+FarmRouter::routeRun(const std::string &key, const std::string &line)
+{
+    unsigned attempts = 0;
+    for (unsigned round = 0; round < cfg_.forwardRounds; ++round) {
+        if (round) {
+            std::uint64_t stall;
+            {
+                std::lock_guard<std::mutex> lock(backoffMutex_);
+                stall = ServiceClient::backoffDelayMs(
+                    round - 1, cfg_.backoffBaseMs, cfg_.backoffCapMs,
+                    backoffRng_);
+            }
+            if (stall)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(stall));
+        }
+        for (const std::size_t idx : routeOrder(key)) {
+            ++attempts;
+            try {
+                const std::string reply =
+                    forwardTo(idx, line, cfg_.forwardTimeoutMs);
+                noteForwardOk(idx);
+                std::lock_guard<std::mutex> lock(workersMutex_);
+                ++routed_;
+                if (attempts > 1)
+                    ++rerouted_;
+                return reply;
+            } catch (const ServiceTimeout &) {
+                // Deep in a long simulation or truly hung: either
+                // way this job moves on, but the worker keeps its
+                // place on the ring until heartbeats say otherwise.
+                noteForwardFailure(idx, /*workerGone=*/false);
+            } catch (const std::exception &) {
+                noteForwardFailure(idx, /*workerGone=*/true);
+            }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(workersMutex_);
+        ++unrouted_;
+    }
+    return wireErrorReply("no live worker could serve key '" + key +
+                          "' after " + std::to_string(attempts) +
+                          " attempts");
+}
+
+std::vector<FarmRouter::WorkerStatus>
+FarmRouter::workerStatus() const
+{
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    std::vector<WorkerStatus> out;
+    out.reserve(workers_.size());
+    for (const Worker &w : workers_)
+        out.push_back(WorkerStatus{w.endpoint, w.alive, w.misses,
+                                   w.forwarded, w.failures});
+    return out;
+}
+
+std::string
+FarmRouter::handleStats()
+{
+    std::ostringstream os;
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    os << "{\"ok\":true,\"farmStats\":{\"workers\":[";
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        const Worker &w = workers_[i];
+        if (i)
+            os << ",";
+        os << "{\"endpoint\":\"" << jsonEscape(w.endpoint)
+           << "\",\"alive\":" << (w.alive ? "true" : "false")
+           << ",\"misses\":" << w.misses
+           << ",\"forwarded\":" << w.forwarded
+           << ",\"failures\":" << w.failures << "}";
+    }
+    os << "],\"routed\":" << routed_ << ",\"rerouted\":" << rerouted_
+       << ",\"unrouted\":" << unrouted_
+       << ",\"evictions\":" << evictions_ << "}}";
+    return os.str();
+}
+
+std::string
+FarmRouter::handleCancel(const std::string &key)
+{
+    std::uint64_t cancelled = 0;
+    for (std::size_t i = 0; i < cfg_.workers.size(); ++i) {
+        try {
+            const std::string reply = forwardTo(
+                i,
+                "{\"op\":\"cancel\",\"key\":\"" + jsonEscape(key) +
+                    "\"}",
+                cfg_.heartbeatTimeoutMs);
+            const JsonValue v = JsonValue::parse(reply);
+            if (const JsonValue *n = v.find("cancelled"))
+                cancelled += n->asUint();
+        } catch (const std::exception &) {
+            // A dead worker has nothing queued to cancel.
+        }
+    }
+    std::ostringstream os;
+    os << "{\"ok\":true,\"cancelled\":" << cancelled << "}";
+    return os.str();
+}
+
+void
+FarmRouter::forwardShutdownToWorkers()
+{
+    for (std::size_t i = 0; i < cfg_.workers.size(); ++i) {
+        try {
+            forwardTo(i, "{\"op\":\"shutdown\"}",
+                      cfg_.heartbeatTimeoutMs);
+        } catch (const std::exception &) {
+            // Already gone is shut down enough.
+        }
+    }
+}
+
+std::string
+FarmRouter::handleRequestLine(const std::string &line)
+{
+    JsonValue req;
+    try {
+        req = JsonValue::parse(line);
+    } catch (const JsonError &e) {
+        return wireErrorReply(std::string("bad request JSON: ") +
+                              e.what());
+    }
+    if (!req.isObject())
+        return wireErrorReply("request must be a JSON object");
+    const JsonValue *opv = req.find("op");
+    if (!opv || !opv->isString())
+        return wireErrorReply("request needs a string \"op\"");
+    const std::string &op = opv->asString();
+
+    try {
+        if (op == "ping") {
+            std::size_t alive = 0;
+            {
+                std::lock_guard<std::mutex> lock(workersMutex_);
+                for (const Worker &w : workers_)
+                    alive += w.alive ? 1 : 0;
+            }
+            std::ostringstream os;
+            os << "{\"ok\":true,\"pong\":true,\"protocol\":"
+               << wireProtocolVersion << ",\"role\":\"farm\""
+               << ",\"workers\":" << cfg_.workers.size()
+               << ",\"aliveWorkers\":" << alive << "}";
+            return os.str();
+        }
+
+        if (op == "stats")
+            return handleStats();
+
+        if (op == "cancel") {
+            const JsonValue *keyv = req.find("key");
+            if (!keyv || !keyv->isString())
+                return wireErrorReply(
+                    "cancel needs a string \"key\"");
+            return handleCancel(keyv->asString());
+        }
+
+        if (op == "shutdown") {
+            // Reply to the client first? No: fan the shutdown out to
+            // the workers before stopping so "shut the farm down" is
+            // one op, then stop the router asynchronously (the reply
+            // still goes out before the handler is joined).
+            forwardShutdownToWorkers();
+            stopAsyncFromHandler();
+            return "{\"ok\":true,\"draining\":true}";
+        }
+
+        int priority = 0;
+        std::uint64_t deadlineMs = 0;
+        if (const JsonValue *p = req.find("priority"))
+            priority = static_cast<int>(p->asNumber());
+        if (const JsonValue *d = req.find("deadlineMs"))
+            deadlineMs = d->asUint();
+
+        auto forwardLine = [&](const ExperimentConfig &cfg) {
+            std::ostringstream os;
+            os << "{\"op\":\"run\",\"priority\":" << priority
+               << ",\"deadlineMs\":" << deadlineMs << ",\"config\":";
+            writeConfigJson(os, cfg);
+            os << "}";
+            return os.str();
+        };
+
+        if (op == "run") {
+            const JsonValue *cfgv = req.find("config");
+            if (!cfgv)
+                return wireErrorReply(
+                    "run needs a \"config\" object");
+            const ExperimentConfig cfg = configFromJson(*cfgv);
+            return routeRun(cfg.key(), forwardLine(cfg));
+        }
+
+        if (op == "batch") {
+            const JsonValue *cfgsv = req.find("configs");
+            if (!cfgsv || !cfgsv->isArray())
+                return wireErrorReply(
+                    "batch needs a \"configs\" array");
+            std::vector<ExperimentConfig> cfgs;
+            cfgs.reserve(cfgsv->size());
+            for (std::size_t i = 0; i < cfgsv->size(); ++i)
+                cfgs.push_back(configFromJson(cfgsv->at(i)));
+
+            // Fan the batch out across the ring; replies come back
+            // in submission order regardless of completion order.
+            std::vector<std::string> replies(cfgs.size());
+            const unsigned fanout = static_cast<unsigned>(
+                std::min<std::size_t>(cfg_.batchFanout,
+                                      std::max<std::size_t>(
+                                          cfgs.size(), 1)));
+            ThreadPool pool(fanout);
+            std::vector<std::future<void>> done;
+            done.reserve(cfgs.size());
+            for (std::size_t i = 0; i < cfgs.size(); ++i) {
+                done.push_back(pool.submit(
+                    [this, i, &replies, &cfgs, &forwardLine] {
+                        replies[i] = routeRun(cfgs[i].key(),
+                                              forwardLine(cfgs[i]));
+                    }));
+            }
+            for (auto &f : done)
+                f.get();
+            std::ostringstream os;
+            os << "{\"ok\":true,\"results\":[";
+            for (std::size_t i = 0; i < replies.size(); ++i) {
+                if (i)
+                    os << ",";
+                os << replies[i];
+            }
+            os << "]}";
+            return os.str();
+        }
+    } catch (const WireError &e) {
+        return wireErrorReply(e.what());
+    } catch (const JsonError &e) {
+        return wireErrorReply(e.what());
+    } catch (const std::exception &e) {
+        return wireErrorReply(std::string("internal error: ") +
+                              e.what());
+    }
+
+    return wireErrorReply("unknown op '" + op + "'");
+}
+
+} // namespace vcoma

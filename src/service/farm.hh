@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The fault-tolerant simulation farm: a router that spreads the
+ * paper's embarrassingly parallel config grid over N vcoma_served
+ * worker daemons and keeps sweeps running — byte-identical to a
+ * direct local Runner — while workers die, hang, or get partitioned.
+ *
+ *  - Consistent hashing: ExperimentConfig cache keys map onto a
+ *    vnode hash ring over the worker endpoints, so each worker's
+ *    in-memory memo stays hot for *its* slice of config space and a
+ *    membership change only remaps the keys on the moved arcs.
+ *  - Health: a heartbeat thread pings every worker each
+ *    heartbeatMs; missThreshold consecutive misses evict it from
+ *    routing, a later successful ping re-admits it. A
+ *    connection-refused forward evicts immediately (the worker is
+ *    gone, not slow); a forward timeout only counts a failure (the
+ *    worker may be deep in a long simulation).
+ *  - Failover: a run that fails on the ring owner re-routes to the
+ *    next live successor, with bounded backoff rounds when every
+ *    candidate is down (workers restarting). Re-running a job a dead
+ *    worker may have half-finished is safe: simulations are
+ *    deterministic and keyed by config, and the shared disk cache is
+ *    the durable layer of record — exactly-once *effects* via the
+ *    cache, at-least-once execution.
+ *  - Batches fan out config-by-config across the ring concurrently,
+ *    replies reassembled in submission order.
+ *
+ * The router speaks the same wire protocol as a worker ("role":
+ * "farm" in ping), so vcoma_client needs no farm-specific code path
+ * beyond choosing per-config resilient submission (sweep --farm).
+ */
+
+#ifndef VCOMA_SERVICE_FARM_HH
+#define VCOMA_SERVICE_FARM_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.hh"
+
+namespace vcoma
+{
+
+/**
+ * Consistent-hash ring: each member contributes @p vnodes points
+ * (FNV-1a of "endpoint#i"); a key belongs to the member owning the
+ * first point clockwise of the key's hash. Immutable after
+ * construction — liveness is the router's concern, the ring only
+ * answers "whose key is this, and who comes next".
+ */
+class HashRing
+{
+  public:
+    explicit HashRing(std::vector<std::string> members,
+                      unsigned vnodes = 64);
+
+    std::size_t size() const { return members_.size(); }
+    const std::string &member(std::size_t i) const
+    {
+        return members_[i];
+    }
+
+    /** The member owning @p key (ignoring liveness). */
+    std::size_t owner(const std::string &key) const;
+
+    /**
+     * Every member in failover-preference order for @p key: the
+     * owner first, then successors clockwise around the ring (each
+     * member once).
+     */
+    std::vector<std::size_t> candidates(const std::string &key) const;
+
+    /** FNV-1a 64-bit with an avalanche finalizer, the ring's (and
+     * the vnodes') hash. */
+    static std::uint64_t hashKey(std::string_view s);
+
+  private:
+    std::vector<std::string> members_;
+    /** (point, member index), sorted by point. */
+    std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+/** Farm knobs (the vcoma_served --farm command line). */
+struct FarmConfig
+{
+    /** The router's own endpoint (clients connect here). */
+    std::string endpoint = "vcoma-farm.sock";
+    /** Worker endpoints ($VCOMA_FARM_WORKERS). */
+    std::vector<std::string> workers;
+    /** Heartbeat period ($VCOMA_HEARTBEAT_MS). */
+    std::uint64_t heartbeatMs = 500;
+    /** Consecutive heartbeat misses before eviction. */
+    unsigned missThreshold = 3;
+    /** Forward I/O deadline — bounds a worker deep in a simulation,
+     * so it must exceed the longest legitimate job (see
+     * ClientOptions::requestTimeoutMs). */
+    int forwardTimeoutMs = 300000;
+    /** Heartbeat ping deadline (a hung worker misses quickly). */
+    int heartbeatTimeoutMs = 1000;
+    /** Connect deadline per forward attempt. */
+    int connectTimeoutMs = 2000;
+    /** Failover rounds over the whole ring before giving up. */
+    unsigned forwardRounds = 3;
+    /** Backoff between failover rounds: min(cap, base << round). */
+    std::uint64_t backoffBaseMs = 100;
+    std::uint64_t backoffCapMs = 2000;
+    /** Concurrent forwards per batch request. */
+    unsigned batchFanout = 8;
+    /** Ring points per worker. */
+    unsigned vnodes = 64;
+    /** Frame cap for client connections. */
+    std::size_t maxLineBytes = 1 << 20;
+    /** Per-request I/O deadline on client connections. 0 = none. */
+    int ioTimeoutMs = 30000;
+};
+
+class FarmRouter : public LineServer
+{
+  public:
+    explicit FarmRouter(FarmConfig cfg);
+    ~FarmRouter() override;
+
+    std::string handleRequestLine(const std::string &line) override;
+
+    /** Health/traffic snapshot of one worker, for stats and tests. */
+    struct WorkerStatus
+    {
+        std::string endpoint;
+        bool alive = true;
+        unsigned misses = 0;
+        std::uint64_t forwarded = 0; ///< replies relayed
+        std::uint64_t failures = 0;  ///< failed forward attempts
+    };
+
+    std::vector<WorkerStatus> workerStatus() const;
+    const FarmConfig &config() const { return cfg_; }
+    const HashRing &ring() const { return ring_; }
+
+    /** Start the heartbeat thread too. */
+    void startFarm();
+
+  protected:
+    void onDrain() override;
+
+  private:
+    struct Worker
+    {
+        std::string endpoint;
+        bool alive = true;
+        unsigned misses = 0;
+        std::uint64_t forwarded = 0;
+        std::uint64_t failures = 0;
+    };
+
+    static ListenerConfig listenerOf(const FarmConfig &cfg);
+
+    void heartbeatLoop();
+    /** Candidates for @p key with live workers first. */
+    std::vector<std::size_t> routeOrder(const std::string &key) const;
+    /** Forward one request line to @p idx; throws on transport
+     * failure. */
+    std::string forwardTo(std::size_t idx, const std::string &line,
+                          int timeoutMs);
+    /** Route one run request by config key, with failover. */
+    std::string routeRun(const std::string &key,
+                         const std::string &line);
+    void noteForwardOk(std::size_t idx);
+    void noteForwardFailure(std::size_t idx, bool workerGone);
+    std::string handleStats();
+    std::string handleCancel(const std::string &key);
+    void forwardShutdownToWorkers();
+
+    FarmConfig cfg_;
+    HashRing ring_;
+
+    mutable std::mutex workersMutex_;
+    std::vector<Worker> workers_;
+
+    std::mutex backoffMutex_;
+    Rng backoffRng_;
+
+    std::thread heartbeatThread_;
+    std::atomic<bool> heartbeatStop_{false};
+
+    /** @{ @name Router counters (guarded by workersMutex_) */
+    std::uint64_t routed_ = 0;    ///< jobs answered by a worker
+    std::uint64_t rerouted_ = 0;  ///< jobs that needed failover
+    std::uint64_t unrouted_ = 0;  ///< jobs no worker could serve
+    std::uint64_t evictions_ = 0; ///< alive -> dead transitions
+    /** @} */
+};
+
+} // namespace vcoma
+
+#endif // VCOMA_SERVICE_FARM_HH

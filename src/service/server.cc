@@ -1,13 +1,15 @@
 #include "service/server.hh"
 
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -17,99 +19,35 @@
 namespace vcoma
 {
 
-namespace
-{
+// ---------------------------------------------------------------------
+// LineServer: the shared accept/frame/reply skeleton.
 
-/** One reply line: {"ok":false,"error":...} (+ backpressure marker). */
-std::string
-errorReply(const std::string &message, bool shed = false)
+LineServer::LineServer(ListenerConfig lcfg) : lcfg_(std::move(lcfg))
 {
-    std::ostringstream os;
-    os << "{\"ok\":false";
-    if (shed)
-        os << ",\"shed\":true";
-    os << ",\"error\":\"" << jsonEscape(message) << "\"}";
-    return os.str();
+    if (lcfg_.chaos.enabled)
+        chaos_ = std::make_unique<ChaosMonkey>(lcfg_.chaos);
 }
 
-/** The reply fragment for one resolved job (run and batch share it). */
-void
-writeJobReply(std::ostream &os, const JobResult &r)
+LineServer::~LineServer()
 {
-    switch (r.status) {
-      case JobStatus::Done: {
-        os << "{\"ok\":true,\"cached\":" << (r.cached ? "true" : "false")
-           << ",\"stats\":\"";
-        std::ostringstream sheet;
-        writeRunStatsJson(sheet, *r.stats);
-        os << jsonEscape(sheet.str()) << "\"}";
-        return;
-      }
-      case JobStatus::Failed:
-        os << errorReply(r.error);
-        return;
-      case JobStatus::Shed:
-      case JobStatus::Cancelled:
-        os << errorReply(r.error, /*shed=*/true);
-        return;
-    }
-    os << errorReply("internal: unhandled job status");
-}
-
-} // namespace
-
-ServiceServer::ServiceServer(Runner &runner, ServiceConfig cfg)
-    : runner_(runner), cfg_(std::move(cfg)),
-      scheduler_(runner_, cfg_.queueCapacity, cfg_.workers)
-{
-}
-
-ServiceServer::~ServiceServer()
-{
-    requestStop();
-    waitUntilStopped();
-    if (acceptThread_.joinable())
-        acceptThread_.join();
-    joinFinishedHandlers();
+    stopAndJoin();
 }
 
 void
-ServiceServer::start()
+LineServer::start()
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (cfg_.socketPath.size() >= sizeof(addr.sun_path))
-        fatal("socket path '", cfg_.socketPath, "' exceeds the ",
-              sizeof(addr.sun_path) - 1, "-byte AF_UNIX limit");
-    std::strncpy(addr.sun_path, cfg_.socketPath.c_str(),
-                 sizeof(addr.sun_path) - 1);
-
-    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd_ < 0)
-        fatal("cannot create socket: ", std::strerror(errno));
-    // A previous daemon that died without cleanup leaves the socket
-    // file behind; a fresh bind needs the path free.
-    ::unlink(cfg_.socketPath.c_str());
-    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) < 0) {
-        const int err = errno;
-        ::close(listenFd_);
-        listenFd_ = -1;
-        fatal("cannot bind '", cfg_.socketPath,
-              "': ", std::strerror(err));
-    }
-    if (::listen(listenFd_, 64) < 0) {
-        const int err = errno;
-        ::close(listenFd_);
-        listenFd_ = -1;
-        fatal("cannot listen on '", cfg_.socketPath,
-              "': ", std::strerror(err));
-    }
+    ignoreSigpipe();
+    ep_ = parseEndpoint(lcfg_.endpoint);
+    listenFd_ = listenEndpoint(ep_);
+    ep_ = vcoma::boundEndpoint(listenFd_, ep_);
+    bound_ = ep_.str();
+    if (chaos_)
+        inform("chaos enabled: ", lcfg_.chaos.describe());
     acceptThread_ = std::thread([this] { acceptLoop(); });
 }
 
 void
-ServiceServer::acceptLoop()
+LineServer::acceptLoop()
 {
     while (!stopping_.load()) {
         pollfd pfd{listenFd_, POLLIN, 0};
@@ -127,185 +65,93 @@ ServiceServer::acceptLoop()
 }
 
 void
-ServiceServer::serveConnection(int fd)
+LineServer::serveConnection(int fd)
 {
-    std::string buffer;
-    char chunk[4096];
-    bool overlong = false;
-    while (!stopping_.load()) {
+    if (chaos_ && chaos_->dropConnection()) {
+        ::close(fd);
+        return;
+    }
+    // Bound a send() to a peer that stopped draining its replies.
+    // recv stays poll-driven so an idle connection parks cheaply and
+    // the loop keeps noticing stopping_.
+    setIoDeadlines(fd, lcfg_.ioTimeoutMs, 0);
+    LineBuffer buf(lcfg_.maxLineBytes);
+    std::uint64_t lastByteMs = steadyMs();
+    std::string data;
+    bool closing = false;
+    while (!stopping_.load() && !closing) {
         pollfd pfd{fd, POLLIN, 0};
         const int n = ::poll(&pfd, 1, 200);
         if (n < 0 && errno != EINTR)
             break;
-        if (n <= 0)
+        if (n <= 0 ||
+            !(pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+            // A peer stalled halfway through a request line cannot
+            // pin this handler past the I/O deadline.
+            if (buf.midLine() && lcfg_.ioTimeoutMs > 0 &&
+                steadyMs() - lastByteMs >
+                    static_cast<std::uint64_t>(lcfg_.ioTimeoutMs))
+                break;
             continue;
-        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (got <= 0)
+        }
+        data.clear();
+        const IoStatus rs = recvSome(fd, data);
+        if (rs == IoStatus::TimedOut)
+            continue;
+        if (rs != IoStatus::Ok)
             break;
-        buffer.append(chunk, static_cast<std::size_t>(got));
+        lastByteMs = steadyMs();
+        buf.append(data.data(), data.size());
 
-        std::size_t start = 0;
-        std::size_t nl;
-        bool closing = false;
-        while ((nl = buffer.find('\n', start)) != std::string::npos) {
-            std::string line = buffer.substr(start, nl - start);
-            start = nl + 1;
+        std::string line;
+        for (;;) {
+            const LineBuffer::Next next = buf.next(line);
+            if (next == LineBuffer::Next::Need)
+                break;
             std::string reply;
-            if (overlong) {
-                reply = errorReply("request line too long");
-                overlong = false;
+            if (next == LineBuffer::Next::Overlong) {
+                reply = wireErrorReply(
+                    "request line exceeds " +
+                    std::to_string(lcfg_.maxLineBytes) + " bytes");
             } else {
+                if (chaos_) {
+                    const std::uint64_t stall =
+                        chaos_->requestDelayMs();
+                    if (stall)
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(stall));
+                    if (chaos_->killNow()) {
+                        inform("chaos: killing self");
+                        ::kill(::getpid(), SIGKILL);
+                    }
+                }
                 reply = handleRequestLine(line);
             }
             reply.push_back('\n');
-            std::size_t off = 0;
-            while (off < reply.size()) {
-                const ssize_t sent = ::send(fd, reply.data() + off,
-                                            reply.size() - off,
-                                            MSG_NOSIGNAL);
-                if (sent <= 0) {
-                    closing = true;
-                    break;
-                }
-                off += static_cast<std::size_t>(sent);
-            }
-            if (closing)
+            if (sendAll(fd, reply) != IoStatus::Ok) {
+                closing = true;
                 break;
-        }
-        buffer.erase(0, start);
-        if (closing)
-            break;
-        if (buffer.size() > cfg_.maxLineBytes) {
-            // Drop the oversized prefix but keep the connection: the
-            // client gets an explicit error once its newline arrives.
-            buffer.clear();
-            overlong = true;
+            }
         }
     }
     ::close(fd);
 }
 
-std::string
-ServiceServer::handleRequestLine(const std::string &line)
+void
+LineServer::stopAsyncFromHandler()
 {
-    JsonValue req;
-    try {
-        req = JsonValue::parse(line);
-    } catch (const JsonError &e) {
-        return errorReply(std::string("bad request JSON: ") + e.what());
-    }
-    if (!req.isObject())
-        return errorReply("request must be a JSON object");
-    const JsonValue *opv = req.find("op");
-    if (!opv || !opv->isString())
-        return errorReply("request needs a string \"op\"");
-    const std::string &op = opv->asString();
-
-    try {
-        if (op == "ping") {
-            std::ostringstream os;
-            os << "{\"ok\":true,\"pong\":true,\"protocol\":"
-               << wireProtocolVersion << "}";
-            return os.str();
-        }
-
-        if (op == "stats") {
-            std::ostringstream os;
-            os << "{\"ok\":true,\"serviceStats\":";
-            writeSchedulerStatsJson(os, scheduler_.stats());
-            os << "}";
-            return os.str();
-        }
-
-        if (op == "cancel") {
-            const JsonValue *keyv = req.find("key");
-            if (!keyv || !keyv->isString())
-                return errorReply("cancel needs a string \"key\"");
-            const unsigned n = scheduler_.cancel(keyv->asString());
-            std::ostringstream os;
-            os << "{\"ok\":true,\"cancelled\":" << n << "}";
-            return os.str();
-        }
-
-        if (op == "shutdown") {
-            // Reply first; the stop (drain + exit) happens after this
-            // response is on the wire, from a separate thread so the
-            // connection handler is not joined from inside itself.
-            // The thread is kept joinable — waitUntilStopped() joins
-            // it, so it can never outlive the server and touch freed
-            // members (a detached thread could still be inside
-            // requestStop()'s notify while the server is destroyed).
-            std::lock_guard<std::mutex> lock(stopThreadMutex_);
-            if (!stopping_.load() && !stopThread_.joinable())
-                stopThread_ = std::thread([this] { requestStop(); });
-            return "{\"ok\":true,\"draining\":true}";
-        }
-
-        int priority = 0;
-        std::uint64_t deadlineMs = 0;
-        if (const JsonValue *p = req.find("priority"))
-            priority = static_cast<int>(p->asNumber());
-        if (const JsonValue *d = req.find("deadlineMs"))
-            deadlineMs = d->asUint();
-
-        if (op == "run") {
-            const JsonValue *cfgv = req.find("config");
-            if (!cfgv)
-                return errorReply("run needs a \"config\" object");
-            JobRequest jr{configFromJson(*cfgv), priority, deadlineMs};
-            Scheduler::Submission sub = scheduler_.submit(jr);
-            if (!sub.accepted())
-                return errorReply(sub.rejection, /*shed=*/true);
-            std::ostringstream os;
-            writeJobReply(os, sub.future.get());
-            return os.str();
-        }
-
-        if (op == "batch") {
-            const JsonValue *cfgsv = req.find("configs");
-            if (!cfgsv || !cfgsv->isArray())
-                return errorReply("batch needs a \"configs\" array");
-            // Admit everything up front so the batch occupies the
-            // queue as one burst, then wait in submission order.
-            std::vector<Scheduler::Submission> subs;
-            subs.reserve(cfgsv->size());
-            for (std::size_t i = 0; i < cfgsv->size(); ++i) {
-                JobRequest jr{configFromJson(cfgsv->at(i)), priority,
-                              deadlineMs};
-                subs.push_back(scheduler_.submit(jr));
-            }
-            std::ostringstream os;
-            os << "{\"ok\":true,\"results\":[";
-            for (std::size_t i = 0; i < subs.size(); ++i) {
-                if (i)
-                    os << ",";
-                if (!subs[i].accepted())
-                    os << errorReply(subs[i].rejection, /*shed=*/true);
-                else
-                    writeJobReply(os, subs[i].future.get());
-            }
-            os << "]}";
-            return os.str();
-        }
-    } catch (const WireError &e) {
-        return errorReply(e.what());
-    } catch (const JsonError &e) {
-        return errorReply(e.what());
-    } catch (const std::exception &e) {
-        return errorReply(std::string("internal error: ") + e.what());
-    }
-
-    return errorReply("unknown op '" + op + "'");
+    std::lock_guard<std::mutex> lock(stopThreadMutex_);
+    if (!stopping_.load() && !stopThread_.joinable())
+        stopThread_ = std::thread([this] { requestStop(); });
 }
 
 void
-ServiceServer::requestStop()
+LineServer::requestStop()
 {
     bool expected = false;
-    if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (!stopping_.compare_exchange_strong(expected, true))
         return;
-    }
-    scheduler_.drain();
+    onDrain();
     {
         std::lock_guard<std::mutex> lock(stopMutex_);
         stopped_.store(true);
@@ -314,7 +160,7 @@ ServiceServer::requestStop()
 }
 
 void
-ServiceServer::waitUntilStopped()
+LineServer::waitUntilStopped()
 {
     {
         std::unique_lock<std::mutex> lock(stopMutex_);
@@ -333,12 +179,23 @@ ServiceServer::waitUntilStopped()
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
-        ::unlink(cfg_.socketPath.c_str());
+        if (ep_.kind == Endpoint::Kind::Unix)
+            ::unlink(ep_.path.c_str());
     }
 }
 
 void
-ServiceServer::joinFinishedHandlers()
+LineServer::stopAndJoin()
+{
+    requestStop();
+    waitUntilStopped();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    joinFinishedHandlers();
+}
+
+void
+LineServer::joinFinishedHandlers()
 {
     std::vector<std::thread> handlers;
     {
@@ -348,6 +205,173 @@ ServiceServer::joinFinishedHandlers()
     for (std::thread &t : handlers)
         if (t.joinable())
             t.join();
+}
+
+// ---------------------------------------------------------------------
+// ServiceServer: the worker daemon's protocol handler.
+
+namespace
+{
+
+/** The reply fragment for one resolved job (run and batch share it). */
+void
+writeJobReply(std::ostream &os, const JobResult &r)
+{
+    switch (r.status) {
+      case JobStatus::Done: {
+        os << "{\"ok\":true,\"cached\":" << (r.cached ? "true" : "false")
+           << ",\"stats\":\"";
+        std::ostringstream sheet;
+        writeRunStatsJson(sheet, *r.stats);
+        os << jsonEscape(sheet.str()) << "\"}";
+        return;
+      }
+      case JobStatus::Failed:
+        os << wireErrorReply(r.error);
+        return;
+      case JobStatus::Shed:
+      case JobStatus::Cancelled:
+        os << wireErrorReply(r.error, /*shed=*/true);
+        return;
+    }
+    os << wireErrorReply("internal: unhandled job status");
+}
+
+} // namespace
+
+ListenerConfig
+ServiceServer::listenerOf(const ServiceConfig &cfg)
+{
+    ListenerConfig lcfg;
+    lcfg.endpoint = cfg.endpoint;
+    lcfg.maxLineBytes = cfg.maxLineBytes;
+    lcfg.ioTimeoutMs = cfg.ioTimeoutMs;
+    lcfg.chaos = cfg.chaos;
+    return lcfg;
+}
+
+ServiceServer::ServiceServer(Runner &runner, ServiceConfig cfg)
+    : LineServer(listenerOf(cfg)), runner_(runner),
+      cfg_(std::move(cfg)),
+      scheduler_(runner_, cfg_.queueCapacity, cfg_.workers)
+{
+}
+
+ServiceServer::~ServiceServer()
+{
+    stopAndJoin();
+}
+
+std::string
+ServiceServer::handleRequestLine(const std::string &line)
+{
+    JsonValue req;
+    try {
+        req = JsonValue::parse(line);
+    } catch (const JsonError &e) {
+        return wireErrorReply(std::string("bad request JSON: ") +
+                              e.what());
+    }
+    if (!req.isObject())
+        return wireErrorReply("request must be a JSON object");
+    const JsonValue *opv = req.find("op");
+    if (!opv || !opv->isString())
+        return wireErrorReply("request needs a string \"op\"");
+    const std::string &op = opv->asString();
+
+    try {
+        if (op == "ping") {
+            std::ostringstream os;
+            os << "{\"ok\":true,\"pong\":true,\"protocol\":"
+               << wireProtocolVersion
+               << ",\"role\":\"worker\",\"queueDepth\":"
+               << scheduler_.depth() << "}";
+            return os.str();
+        }
+
+        if (op == "stats") {
+            std::ostringstream os;
+            os << "{\"ok\":true,\"serviceStats\":";
+            writeSchedulerStatsJson(os, scheduler_.stats());
+            os << "}";
+            return os.str();
+        }
+
+        if (op == "cancel") {
+            const JsonValue *keyv = req.find("key");
+            if (!keyv || !keyv->isString())
+                return wireErrorReply(
+                    "cancel needs a string \"key\"");
+            const unsigned n = scheduler_.cancel(keyv->asString());
+            std::ostringstream os;
+            os << "{\"ok\":true,\"cancelled\":" << n << "}";
+            return os.str();
+        }
+
+        if (op == "shutdown") {
+            stopAsyncFromHandler();
+            return "{\"ok\":true,\"draining\":true}";
+        }
+
+        int priority = 0;
+        std::uint64_t deadlineMs = 0;
+        if (const JsonValue *p = req.find("priority"))
+            priority = static_cast<int>(p->asNumber());
+        if (const JsonValue *d = req.find("deadlineMs"))
+            deadlineMs = d->asUint();
+
+        if (op == "run") {
+            const JsonValue *cfgv = req.find("config");
+            if (!cfgv)
+                return wireErrorReply(
+                    "run needs a \"config\" object");
+            JobRequest jr{configFromJson(*cfgv), priority, deadlineMs};
+            Scheduler::Submission sub = scheduler_.submit(jr);
+            if (!sub.accepted())
+                return wireErrorReply(sub.rejection, /*shed=*/true);
+            std::ostringstream os;
+            writeJobReply(os, sub.future.get());
+            return os.str();
+        }
+
+        if (op == "batch") {
+            const JsonValue *cfgsv = req.find("configs");
+            if (!cfgsv || !cfgsv->isArray())
+                return wireErrorReply(
+                    "batch needs a \"configs\" array");
+            // Admit everything up front so the batch occupies the
+            // queue as one burst, then wait in submission order.
+            std::vector<Scheduler::Submission> subs;
+            subs.reserve(cfgsv->size());
+            for (std::size_t i = 0; i < cfgsv->size(); ++i) {
+                JobRequest jr{configFromJson(cfgsv->at(i)), priority,
+                              deadlineMs};
+                subs.push_back(scheduler_.submit(jr));
+            }
+            std::ostringstream os;
+            os << "{\"ok\":true,\"results\":[";
+            for (std::size_t i = 0; i < subs.size(); ++i) {
+                if (i)
+                    os << ",";
+                if (!subs[i].accepted())
+                    os << wireErrorReply(subs[i].rejection,
+                                         /*shed=*/true);
+                else
+                    writeJobReply(os, subs[i].future.get());
+            }
+            os << "]}";
+            return os.str();
+        }
+    } catch (const WireError &e) {
+        return wireErrorReply(e.what());
+    } catch (const JsonError &e) {
+        return wireErrorReply(e.what());
+    } catch (const std::exception &e) {
+        return wireErrorReply(std::string("internal error: ") +
+                              e.what());
+    }
+
+    return wireErrorReply("unknown op '" + op + "'");
 }
 
 } // namespace vcoma

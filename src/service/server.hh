@@ -1,16 +1,29 @@
 /**
  * @file
- * The vcoma_served daemon's listener: a Unix-domain stream socket
- * speaking the line-delimited JSON protocol of service/wire.hh, with
- * one handler thread per connection and every request funnelled into
- * one shared Scheduler/Runner pair so the in-memory and on-disk
+ * The service's listeners.
+ *
+ * LineServer is the transport skeleton shared by the worker daemon
+ * and the farm router: it binds an endpoint (AF_UNIX path or
+ * "tcp:host:port"), accepts connections with one handler thread
+ * each, frames newline-delimited requests through a bounded
+ * LineBuffer (an oversized frame gets an explicit protocol error,
+ * never an unbounded buffer), arms per-request send deadlines so a
+ * hung peer cannot pin a handler, drops a connection whose peer
+ * stalls mid-line past the I/O deadline, and optionally runs a
+ * ChaosMonkey that drops connections, delays requests, or SIGKILLs
+ * the process (worker chaos testing). Derived classes supply
+ * handleRequestLine().
+ *
+ * ServiceServer is the vcoma_served worker: every request funnels
+ * into one shared Scheduler/Runner pair so the in-memory and on-disk
  * result caches stay warm across clients.
  *
  * Lifecycle: construct, start(), then either waitUntilStopped() (the
  * daemon's main thread parks here) or destroy. A {"op":"shutdown"}
  * request or requestStop() — callable from a signal handler's flag
- * poller — stops accepting, drains the scheduler (queued jobs finish)
- * and unblocks waitUntilStopped().
+ * poller — stops accepting, drains (via onDrain()) and unblocks
+ * waitUntilStopped(). Derived destructors must call stopAndJoin()
+ * first so no handler thread can call a torn-down override.
  */
 
 #ifndef VCOMA_SERVICE_SERVER_HH
@@ -24,36 +37,41 @@
 #include <thread>
 #include <vector>
 
+#include "service/chaos.hh"
 #include "service/scheduler.hh"
+#include "service/transport.hh"
 
 namespace vcoma
 {
 
-/** Daemon knobs (the vcoma_served command line). */
-struct ServiceConfig
+/** Transport knobs shared by every line-protocol listener. */
+struct ListenerConfig
 {
-    std::string socketPath = "vcoma.sock";
-    /** Scheduler queue capacity (admission control). */
-    std::size_t queueCapacity = 64;
-    /** Executor threads; 0 = Runner::envJobs(). */
-    unsigned workers = 0;
-    /** Reject request lines longer than this (malformed client). */
+    /** AF_UNIX path or "tcp:host:port" (port 0 = kernel-assigned). */
+    std::string endpoint = "vcoma.sock";
+    /** Reject request frames longer than this (malformed peer). */
     std::size_t maxLineBytes = 1 << 20;
+    /**
+     * Per-request I/O deadline: bounds a blocked send() to a hung
+     * peer and a request line stalled half-sent. 0 = none.
+     */
+    int ioTimeoutMs = 30000;
+    /** Service-tier chaos injection; default off. */
+    ChaosSpec chaos;
 };
 
-class ServiceServer
+class LineServer
 {
   public:
-    /** Binds nothing yet; start() does the socket work. */
-    ServiceServer(Runner &runner, ServiceConfig cfg);
-    ~ServiceServer();
+    explicit LineServer(ListenerConfig lcfg);
+    virtual ~LineServer();
 
-    ServiceServer(const ServiceServer &) = delete;
-    ServiceServer &operator=(const ServiceServer &) = delete;
+    LineServer(const LineServer &) = delete;
+    LineServer &operator=(const LineServer &) = delete;
 
     /**
-     * Bind the socket (replacing a stale file at the path), listen,
-     * and spawn the accept loop. Throws FatalError on bind failure.
+     * Bind the endpoint, listen, and spawn the accept loop. Throws
+     * FatalError on bind failure.
      */
     void start();
 
@@ -66,25 +84,49 @@ class ServiceServer
     bool stopped() const { return stopped_.load(); }
 
     /**
+     * The endpoint actually bound — a TCP port-0 listen resolves to
+     * the kernel's choice. Valid after start().
+     */
+    std::string boundEndpoint() const { return bound_; }
+
+    const ListenerConfig &listenerConfig() const { return lcfg_; }
+
+    /**
      * Handle one request line, returning the reply line (without the
      * trailing newline). Public so tests can drive the protocol
      * without a socket.
      */
-    std::string handleRequestLine(const std::string &line);
+    virtual std::string handleRequestLine(const std::string &line) = 0;
 
-    Scheduler &scheduler() { return scheduler_; }
-    const ServiceConfig &config() const { return cfg_; }
+  protected:
+    /** Called once during requestStop(), before unparking waiters. */
+    virtual void onDrain() {}
+
+    /**
+     * For a shutdown op: reply first, stop from a separate thread so
+     * the connection handler is not joined from inside itself. The
+     * thread is kept joinable — waitUntilStopped() joins it, so it
+     * can never outlive the server and touch freed members.
+     */
+    void stopAsyncFromHandler();
+
+    /**
+     * requestStop() + waitUntilStopped() + join everything. Derived
+     * destructors call this first, while their overrides still exist.
+     */
+    void stopAndJoin();
 
   private:
     void acceptLoop();
     void serveConnection(int fd);
     void joinFinishedHandlers();
 
-    Runner &runner_;
-    ServiceConfig cfg_;
-    Scheduler scheduler_;
+    ListenerConfig lcfg_;
+    std::unique_ptr<ChaosMonkey> chaos_;
 
     int listenFd_ = -1;
+    Endpoint ep_;
+    std::string bound_;
     std::thread acceptThread_;
     std::mutex handlersMutex_;
     std::vector<std::thread> handlers_;
@@ -92,9 +134,48 @@ class ServiceServer
     std::atomic<bool> stopped_{false};
     std::mutex stopMutex_;
     std::condition_variable stopCv_;
-    /** The shutdown op's stop thread; joined by waitUntilStopped(). */
     std::mutex stopThreadMutex_;
     std::thread stopThread_;
+};
+
+/** Daemon knobs (the vcoma_served command line). */
+struct ServiceConfig
+{
+    /** AF_UNIX path or "tcp:host:port". */
+    std::string endpoint = "vcoma.sock";
+    /** Scheduler queue capacity (admission control). */
+    std::size_t queueCapacity = 64;
+    /** Executor threads; 0 = Runner::envJobs(). */
+    unsigned workers = 0;
+    /** Reject request lines longer than this (malformed client). */
+    std::size_t maxLineBytes = 1 << 20;
+    /** Per-request I/O deadline (see ListenerConfig). 0 = none. */
+    int ioTimeoutMs = 30000;
+    /** Worker chaos injection ($VCOMA_CHAOS); default off. */
+    ChaosSpec chaos;
+};
+
+class ServiceServer : public LineServer
+{
+  public:
+    /** Binds nothing yet; start() does the socket work. */
+    ServiceServer(Runner &runner, ServiceConfig cfg);
+    ~ServiceServer() override;
+
+    std::string handleRequestLine(const std::string &line) override;
+
+    Scheduler &scheduler() { return scheduler_; }
+    const ServiceConfig &config() const { return cfg_; }
+
+  protected:
+    void onDrain() override { scheduler_.drain(); }
+
+  private:
+    static ListenerConfig listenerOf(const ServiceConfig &cfg);
+
+    Runner &runner_;
+    ServiceConfig cfg_;
+    Scheduler scheduler_;
 };
 
 } // namespace vcoma

@@ -1,0 +1,373 @@
+#include "service/transport.hh"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace vcoma
+{
+
+std::string
+Endpoint::str() const
+{
+    if (kind == Kind::Unix)
+        return path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint
+parseEndpoint(const std::string &spec)
+{
+    Endpoint ep;
+    if (spec.rfind("tcp:", 0) == 0) {
+        std::string rest = spec.substr(4);
+        if (rest.rfind("//", 0) == 0)
+            rest = rest.substr(2);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0)
+            fatal("TCP endpoint '", spec,
+                  "' must be tcp:HOST:PORT");
+        ep.kind = Endpoint::Kind::Tcp;
+        ep.host = rest.substr(0, colon);
+        const std::string portStr = rest.substr(colon + 1);
+        char *end = nullptr;
+        const unsigned long port =
+            std::strtoul(portStr.c_str(), &end, 10);
+        if (portStr.empty() || *end != '\0' || port > 65535)
+            fatal("TCP endpoint '", spec, "' has a bad port '",
+                  portStr, "'");
+        ep.port = static_cast<std::uint16_t>(port);
+        return ep;
+    }
+    ep.kind = Endpoint::Kind::Unix;
+    ep.path = spec.rfind("unix:", 0) == 0 ? spec.substr(5) : spec;
+    if (ep.path.empty())
+        fatal("empty Unix socket path in endpoint '", spec, "'");
+    return ep;
+}
+
+void
+ignoreSigpipe()
+{
+    // Once is enough, but re-arming is harmless; MSG_NOSIGNAL covers
+    // send() already — this covers every other path to a dead peer.
+    static const bool armed = [] {
+        std::signal(SIGPIPE, SIG_IGN);
+        return true;
+    }();
+    (void)armed;
+}
+
+namespace
+{
+
+/** Fill @p addr for a Unix endpoint; throws on an over-long path. */
+sockaddr_un
+unixAddr(const Endpoint &ep)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.path.size() >= sizeof(addr.sun_path))
+        fatal("socket path '", ep.path, "' exceeds the ",
+              sizeof(addr.sun_path) - 1, "-byte AF_UNIX limit");
+    std::strncpy(addr.sun_path, ep.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    return addr;
+}
+
+/** Resolve an AF_INET host:port; throws FatalError when unresolvable. */
+sockaddr_in
+tcpAddr(const Endpoint &ep)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int rc = ::getaddrinfo(ep.host.c_str(), nullptr, &hints, &res);
+    if (rc != 0 || !res)
+        fatal("cannot resolve TCP host '", ep.host,
+              "': ", ::gai_strerror(rc));
+    sockaddr_in addr{};
+    std::memcpy(&addr, res->ai_addr,
+                std::min(sizeof(addr),
+                         static_cast<std::size_t>(res->ai_addrlen)));
+    ::freeaddrinfo(res);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    return addr;
+}
+
+} // namespace
+
+int
+listenEndpoint(const Endpoint &ep, int backlog)
+{
+    ignoreSigpipe();
+    int fd = -1;
+    if (ep.kind == Endpoint::Kind::Unix) {
+        const sockaddr_un addr = unixAddr(ep);
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("cannot create socket: ", std::strerror(errno));
+        // A previous daemon that died without cleanup leaves the
+        // socket file behind; a fresh bind needs the path free.
+        ::unlink(ep.path.c_str());
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            const int err = errno;
+            ::close(fd);
+            fatal("cannot bind '", ep.path, "': ",
+                  std::strerror(err));
+        }
+    } else {
+        const sockaddr_in addr = tcpAddr(ep);
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("cannot create socket: ", std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            const int err = errno;
+            ::close(fd);
+            fatal("cannot bind '", ep.str(), "': ",
+                  std::strerror(err));
+        }
+    }
+    if (::listen(fd, backlog) < 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("cannot listen on '", ep.str(), "': ",
+              std::strerror(err));
+    }
+    return fd;
+}
+
+Endpoint
+boundEndpoint(int fd, const Endpoint &ep)
+{
+    if (ep.kind == Endpoint::Kind::Unix)
+        return ep;
+    Endpoint out = ep;
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) ==
+        0)
+        out.port = ntohs(addr.sin_port);
+    if (out.host.empty() || out.host == "0.0.0.0" || out.host == "*")
+        out.host = "127.0.0.1";
+    return out;
+}
+
+namespace
+{
+
+/**
+ * One non-blocking connect attempt bounded by @p deadlineMs (absolute
+ * steady time). Returns the connected fd or -1 with errno set.
+ */
+int
+connectOnce(const Endpoint &ep, std::uint64_t deadlineMs)
+{
+    const int family =
+        ep.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+    const int fd = ::socket(family, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+    int rc;
+    if (ep.kind == Endpoint::Kind::Unix) {
+        const sockaddr_un addr = unixAddr(ep);
+        rc = ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    } else {
+        const sockaddr_in addr = tcpAddr(ep);
+        rc = ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    }
+    if (rc < 0 && errno == EINPROGRESS) {
+        // SYN in flight: wait for writability up to the deadline.
+        for (;;) {
+            const std::uint64_t now = steadyMs();
+            if (now >= deadlineMs) {
+                errno = ETIMEDOUT;
+                rc = -1;
+                break;
+            }
+            pollfd pfd{fd, POLLOUT, 0};
+            const int n = ::poll(
+                &pfd, 1, static_cast<int>(deadlineMs - now));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                errno = ETIMEDOUT;
+                rc = -1;
+                break;
+            }
+            int soErr = 0;
+            socklen_t len = sizeof(soErr);
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soErr, &len);
+            if (soErr != 0) {
+                errno = soErr;
+                rc = -1;
+            } else {
+                rc = 0;
+            }
+            break;
+        }
+    }
+    if (rc < 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        return -1;
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    return fd;
+}
+
+} // namespace
+
+int
+tryConnectEndpoint(const Endpoint &ep, int timeoutMs, std::string *error)
+{
+    ignoreSigpipe();
+    const std::uint64_t deadline =
+        steadyMs() + static_cast<std::uint64_t>(
+                         timeoutMs > 0 ? timeoutMs : 0);
+    int lastErr = ECONNREFUSED;
+    for (;;) {
+        const int fd = connectOnce(ep, deadline);
+        if (fd >= 0)
+            return fd;
+        lastErr = errno;
+        if (steadyMs() >= deadline)
+            break;
+        // A daemon still binding its socket wins the race.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (error)
+        *error = "cannot connect to '" + ep.str() +
+                 "': " + std::strerror(lastErr);
+    return -1;
+}
+
+void
+setIoDeadlines(int fd, int sendTimeoutMs, int recvTimeoutMs)
+{
+    auto arm = [&](int opt, int ms) {
+        if (ms <= 0)
+            return;
+        timeval tv{};
+        tv.tv_sec = ms / 1000;
+        tv.tv_usec = (ms % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+    };
+    arm(SO_SNDTIMEO, sendTimeoutMs);
+    arm(SO_RCVTIMEO, recvTimeoutMs);
+}
+
+IoStatus
+sendAll(int fd, std::string_view data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t sent = ::send(fd, data.data() + off,
+                                    data.size() - off, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return IoStatus::TimedOut;
+            if (errno == EPIPE || errno == ECONNRESET)
+                return IoStatus::Closed;
+            return IoStatus::Error;
+        }
+        if (sent == 0)
+            return IoStatus::Closed;
+        off += static_cast<std::size_t>(sent);
+    }
+    return IoStatus::Ok;
+}
+
+IoStatus
+recvSome(int fd, std::string &out)
+{
+    char chunk[4096];
+    for (;;) {
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got > 0) {
+            out.append(chunk, static_cast<std::size_t>(got));
+            return IoStatus::Ok;
+        }
+        if (got == 0)
+            return IoStatus::Closed;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoStatus::TimedOut;
+        if (errno == ECONNRESET)
+            return IoStatus::Closed;
+        return IoStatus::Error;
+    }
+}
+
+LineBuffer::Next
+LineBuffer::next(std::string &line)
+{
+    if (skipping_) {
+        const std::size_t nl = pending_.find('\n');
+        if (nl == std::string::npos) {
+            // Still inside the oversized frame: drop what arrived.
+            pending_.clear();
+            return Next::Need;
+        }
+        pending_.erase(0, nl + 1);
+        skipping_ = false;
+        return Next::Overlong;
+    }
+    const std::size_t nl = pending_.find('\n');
+    if (nl != std::string::npos) {
+        if (nl > maxLine_) {
+            pending_.erase(0, nl + 1);
+            return Next::Overlong;
+        }
+        line.assign(pending_, 0, nl);
+        pending_.erase(0, nl + 1);
+        return Next::Line;
+    }
+    if (pending_.size() > maxLine_) {
+        // The frame already exceeds the cap with no end in sight:
+        // stop buffering, skip until its newline finally arrives,
+        // and report it once then.
+        pending_.clear();
+        skipping_ = true;
+    }
+    return Next::Need;
+}
+
+std::uint64_t
+steadyMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace vcoma

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Socket transport shared by the service's server, client, and farm
+ * router: endpoint parsing (AF_UNIX paths and "tcp:host:port"
+ * AF_INET addresses), listen/connect with deadlines, EINTR- and
+ * partial-write-safe I/O loops, per-request kernel I/O timeouts
+ * (SO_RCVTIMEO/SO_SNDTIMEO), and bounded line framing so a
+ * misbehaving peer can never grow a read buffer without limit.
+ *
+ * Every helper reports failure through a status code or a typed
+ * exception (ServiceTimeout, ServiceIoError) rather than killing the
+ * process: a peer reset is an error to recover from, not a crash.
+ */
+
+#ifndef VCOMA_SERVICE_TRANSPORT_HH
+#define VCOMA_SERVICE_TRANSPORT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace vcoma
+{
+
+/** Connection-level I/O failure: peer closed, reset, refused. */
+class ServiceIoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** A send/recv deadline expired (the peer is hung or overloaded). */
+class ServiceTimeout : public ServiceIoError
+{
+  public:
+    using ServiceIoError::ServiceIoError;
+};
+
+/**
+ * One service address: a Unix-domain socket path or an AF_INET
+ * "tcp:host:port" pair. Everything that binds or connects parses its
+ * endpoint string through here, so the daemon, the client and the
+ * farm router all accept the same spellings.
+ */
+struct Endpoint
+{
+    enum class Kind : std::uint8_t { Unix, Tcp };
+    Kind kind = Kind::Unix;
+    /** AF_UNIX socket path (Kind::Unix). */
+    std::string path;
+    /** AF_INET host, numeric or resolvable (Kind::Tcp). */
+    std::string host;
+    /** AF_INET port; 0 asks the kernel for one (Kind::Tcp). */
+    std::uint16_t port = 0;
+
+    /** Canonical string form ("path" or "tcp:host:port"). */
+    std::string str() const;
+};
+
+/**
+ * Parse an endpoint spec: "tcp:HOST:PORT" (or "tcp://HOST:PORT")
+ * is AF_INET, "unix:PATH" or any other string is an AF_UNIX path.
+ * Throws FatalError on a malformed TCP spec (bad port, empty host).
+ */
+Endpoint parseEndpoint(const std::string &spec);
+
+/** Ignore SIGPIPE process-wide (idempotent). A peer that resets its
+ * connection must surface as a send error, not kill the process. */
+void ignoreSigpipe();
+
+/**
+ * Bind and listen on @p ep. Replaces a stale socket file (Unix) and
+ * sets SO_REUSEADDR (TCP). Returns the listening fd; throws
+ * FatalError on failure.
+ */
+int listenEndpoint(const Endpoint &ep, int backlog = 64);
+
+/**
+ * The endpoint actually bound by @p fd — resolves a TCP port-0 bind
+ * to the kernel-assigned port (and a wildcard host to 127.0.0.1 so
+ * the result is connectable). For Unix endpoints, returns @p ep.
+ */
+Endpoint boundEndpoint(int fd, const Endpoint &ep);
+
+/**
+ * Connect to @p ep, retrying until @p timeoutMs elapses (a daemon
+ * still binding its socket wins the race; a SYN to a dropped peer is
+ * bounded by the same deadline via a non-blocking connect). Returns
+ * the connected fd, or -1 with the failure text in @p error.
+ */
+int tryConnectEndpoint(const Endpoint &ep, int timeoutMs,
+                       std::string *error = nullptr);
+
+/**
+ * Arm kernel I/O deadlines on @p fd: a send() blocked longer than
+ * @p sendTimeoutMs or a recv() idle longer than @p recvTimeoutMs
+ * fails with EAGAIN instead of blocking forever. 0 disables a
+ * direction.
+ */
+void setIoDeadlines(int fd, int sendTimeoutMs, int recvTimeoutMs);
+
+/** Outcome of a low-level socket operation. */
+enum class IoStatus : std::uint8_t
+{
+    Ok,
+    Closed,   ///< orderly shutdown or broken pipe
+    TimedOut, ///< an armed SO_*TIMEO deadline expired
+    Error,    ///< any other errno
+};
+
+/**
+ * Send all of @p data: EINTR-safe, partial-write-safe, MSG_NOSIGNAL.
+ * Honours an armed SO_SNDTIMEO (returns IoStatus::TimedOut).
+ */
+IoStatus sendAll(int fd, std::string_view data);
+
+/**
+ * Receive some bytes into @p out (appended), EINTR-safe. Returns
+ * Ok/Closed/TimedOut/Error; Ok guarantees at least one byte arrived.
+ */
+IoStatus recvSome(int fd, std::string &out);
+
+/**
+ * Newline framing with a hard per-line cap. Feed raw bytes with
+ * append(); drain frames with next(). A line longer than the cap is
+ * discarded (the reader skips to the next newline) and reported once
+ * as Next::Overlong so the protocol layer can answer with an
+ * explicit error instead of buffering without bound.
+ */
+class LineBuffer
+{
+  public:
+    explicit LineBuffer(std::size_t maxLineBytes)
+        : maxLine_(maxLineBytes)
+    {
+    }
+
+    void append(const char *data, std::size_t n)
+    {
+        pending_.append(data, n);
+    }
+
+    enum class Next : std::uint8_t
+    {
+        Line,     ///< @p line holds one complete frame
+        Need,     ///< no complete frame buffered yet
+        Overlong, ///< a frame exceeded the cap and was discarded
+    };
+
+    Next next(std::string &line);
+
+    /** Bytes of an incomplete frame are buffered (or being skipped):
+     * a peer stalled mid-line, relevant for idle-deadline checks. */
+    bool midLine() const { return !pending_.empty() || skipping_; }
+
+    std::size_t maxLineBytes() const { return maxLine_; }
+
+  private:
+    std::size_t maxLine_;
+    std::string pending_;
+    bool skipping_ = false;
+};
+
+/** Milliseconds on the steady clock (deadline arithmetic). */
+std::uint64_t steadyMs();
+
+} // namespace vcoma
+
+#endif // VCOMA_SERVICE_TRANSPORT_HH

@@ -3,11 +3,23 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 #include "common/json.hh"
 
 namespace vcoma
 {
+
+std::string
+wireErrorReply(const std::string &message, bool shed)
+{
+    std::ostringstream os;
+    os << "{\"ok\":false";
+    if (shed)
+        os << ",\"shed\":true";
+    os << ",\"error\":\"" << jsonEscape(message) << "\"}";
+    return os.str();
+}
 
 Scheme
 parseSchemeToken(const std::string &token)

@@ -1,10 +1,15 @@
 /**
  * @file
  * The simulation service's wire protocol: line-delimited JSON over a
- * Unix-domain stream socket. Every request and every reply is exactly
- * one RFC 8259 JSON object on one line, parsed with the in-tree
- * vcoma::JsonValue parser — no framing beyond '\n', so the protocol
- * is scriptable with a shell and `nc`.
+ * stream socket — a Unix-domain path or a TCP "tcp:host:port"
+ * endpoint (see service/transport.hh), same bytes either way. Every
+ * request and every reply is exactly one RFC 8259 JSON object on one
+ * line, parsed with the in-tree vcoma::JsonValue parser — no framing
+ * beyond '\n', so the protocol is scriptable with a shell and `nc`.
+ * Frames are capped (ListenerConfig::maxLineBytes server-side,
+ * ClientOptions::maxLineBytes client-side): an oversized frame is
+ * answered with an explicit protocol error, never buffered without
+ * bound.
  *
  * Requests carry an "op":
  *
@@ -21,6 +26,11 @@
  * direct Runner::run — JSON string escaping is lossless, re-parsing
  * numbers is not. A shed job replies {"ok":false,"shed":true,...}
  * (explicit backpressure, never a hang).
+ *
+ * A worker's ping reply carries {"role":"worker","queueDepth":N};
+ * the farm router (service/farm.hh) speaks the same ops with
+ * {"role":"farm"} and routes run/batch to workers by config key, so
+ * clients need not know whether they face one daemon or a fleet.
  *
  * Config objects mirror ExperimentConfig field by field; unknown
  * members are an error (a typo must not silently simulate the
@@ -48,8 +58,17 @@ class WireError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
-/** Protocol revision reported by ping and /stats replies. */
-inline constexpr int wireProtocolVersion = 1;
+/** Protocol revision reported by ping and /stats replies.
+ * v2: TCP endpoints, worker role/queueDepth in ping, farm router. */
+inline constexpr int wireProtocolVersion = 2;
+
+/**
+ * One error reply line: {"ok":false,"error":...}, with a
+ * {"shed":true} backpressure marker when @p shed. Shared by the
+ * worker daemon and the farm router so error frames are uniform.
+ */
+std::string wireErrorReply(const std::string &message,
+                           bool shed = false);
 
 /** Parse a scheme token ("L0", "VCOMA", or paper names like "L2-TLB"). */
 Scheme parseSchemeToken(const std::string &token);

@@ -478,7 +478,7 @@ TEST(ServiceSocket, RoundTripIsByteExactAndCacheWarm)
 {
     Runner runner("");
     ServiceConfig scfg;
-    scfg.socketPath = shortSocketPath("rt");
+    scfg.endpoint = shortSocketPath("rt");
     scfg.queueCapacity = 8;
     scfg.workers = 2;
     ServiceServer server(runner, scfg);
@@ -487,7 +487,7 @@ TEST(ServiceSocket, RoundTripIsByteExactAndCacheWarm)
     const ExperimentConfig cfg = tinyConfig();
     std::string viaService;
     {
-        ServiceClient client(scfg.socketPath);
+        ServiceClient client(scfg.endpoint);
         ASSERT_TRUE(client.ping());
         const auto out = client.run(cfg);
         ASSERT_TRUE(out.ok) << out.error;
@@ -501,7 +501,7 @@ TEST(ServiceSocket, RoundTripIsByteExactAndCacheWarm)
 
     // Second submission: served from the warm memo, byte-identical.
     {
-        ServiceClient client(scfg.socketPath);
+        ServiceClient client(scfg.endpoint);
         const auto out = client.run(cfg);
         ASSERT_TRUE(out.ok) << out.error;
         EXPECT_TRUE(out.cached);
@@ -517,14 +517,14 @@ TEST(ServiceSocket, RoundTripIsByteExactAndCacheWarm)
     }
     server.requestStop();
     server.waitUntilStopped();
-    EXPECT_FALSE(std::filesystem::exists(scfg.socketPath));
+    EXPECT_FALSE(std::filesystem::exists(scfg.endpoint));
 }
 
 TEST(ServiceSocket, CapacityOneFourConcurrentClientsShedExplicitly)
 {
     Runner runner("");
     ServiceConfig scfg;
-    scfg.socketPath = shortSocketPath("shed");
+    scfg.endpoint = shortSocketPath("shed");
     scfg.queueCapacity = 1;
     scfg.workers = 1;
     ServiceServer server(runner, scfg);
@@ -537,7 +537,7 @@ TEST(ServiceSocket, CapacityOneFourConcurrentClientsShedExplicitly)
     std::vector<std::thread> clients;
     for (std::uint64_t i = 0; i < 4; ++i) {
         clients.emplace_back([&, i] {
-            ServiceClient client(scfg.socketPath);
+            ServiceClient client(scfg.endpoint);
             const auto out = client.run(slowConfig(100 + i));
             if (out.ok)
                 ++oks;
@@ -555,7 +555,7 @@ TEST(ServiceSocket, CapacityOneFourConcurrentClientsShedExplicitly)
     EXPECT_GE(oks.load(), 1);
     const JsonValue stats = JsonValue::parse(
         [&] {
-            ServiceClient c(scfg.socketPath);
+            ServiceClient c(scfg.endpoint);
             return c.statsLine();
         }());
     const JsonValue &s = stats.at("serviceStats");
@@ -570,13 +570,13 @@ TEST(ServiceSocket, ShutdownOpDrainsTheDaemon)
 {
     Runner runner("");
     ServiceConfig scfg;
-    scfg.socketPath = shortSocketPath("down");
+    scfg.endpoint = shortSocketPath("down");
     scfg.queueCapacity = 4;
     scfg.workers = 1;
     ServiceServer server(runner, scfg);
     server.start();
     {
-        ServiceClient client(scfg.socketPath);
+        ServiceClient client(scfg.endpoint);
         EXPECT_TRUE(client.shutdown());
     }
     server.waitUntilStopped();

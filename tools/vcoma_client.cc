@@ -1,11 +1,15 @@
 /**
  * @file
- * vcoma_client — command-line client of the vcoma_served daemon.
+ * vcoma_client — command-line client of the vcoma_served daemon (or
+ * the farm router; same protocol, either a socket path or
+ * tcp:host:port).
  *
  *   vcoma_client ping
  *   vcoma_client run --workload FFT --scheme VCOMA --out fft.json
  *   vcoma_client sweep --workloads RADIX,FFT --schemes L0,VCOMA \
  *                      --scale 0.1 --out-dir sheets/
+ *   vcoma_client sweep --farm --socket tcp:127.0.0.1:7700 \
+ *                      --workloads RADIX,FFT --out-dir sheets/
  *   vcoma_client direct --workloads RADIX,FFT --schemes L0,VCOMA \
  *                      --scale 0.1 --out-dir direct/   # no daemon
  *   vcoma_client stats
@@ -15,6 +19,11 @@
  * sheets with the same names and bytes the daemon would return, so a
  * served sweep can be byte-compared against ground truth (`diff -r`).
  * Sheets are the exact writeRunStatsJson() output plus one newline.
+ *
+ * `sweep --farm` submits configs one at a time through
+ * runResilient() — bounded retries, exponential backoff with jitter,
+ * reconnect on a lost connection — so the sweep rides out worker
+ * deaths and router failovers and still produces the same bytes.
  */
 
 #include <cstdlib>
@@ -53,11 +62,23 @@ usage(int code)
         "sweep options (sweep/direct): config options, plus\n"
         "  --workloads A,B,...        instead of --workload\n"
         "  --schemes S1,S2,...        instead of --scheme\n"
+        "  --farm                     submit configs one at a time with\n"
+        "                             retry/backoff (rides out worker\n"
+        "                             deaths behind a farm router)\n"
         "shared options:\n"
-        "  --socket PATH              daemon socket (default vcoma.sock)\n"
+        "  --socket EP                daemon endpoint: socket path or\n"
+        "                             tcp:HOST:PORT (default vcoma.sock)\n"
         "  --priority N               larger runs first (default 0)\n"
         "  --deadline-ms N            shed if still queued after N ms\n"
-        "  --timeout-ms N             connect timeout (default 10000)\n";
+        "  --timeout-ms N             connect timeout (default 10000)\n"
+        "  --request-timeout-ms N     per-request I/O deadline; a hung\n"
+        "                             server fails typed instead of\n"
+        "                             hanging (default 300000, or\n"
+        "                             $VCOMA_REQUEST_TIMEOUT_MS)\n"
+        "  --retries N                extra attempts under --farm\n"
+        "                             (default 4, or $VCOMA_RETRY_MAX)\n"
+        "  --retry-base-ms N          backoff base (default 50)\n"
+        "  --retry-cap-ms N           backoff cap (default 2000)\n";
     std::exit(code);
 }
 
@@ -85,7 +106,18 @@ struct Options
     int priority = 0;
     std::uint64_t deadlineMs = 0;
     int timeoutMs = 10000;
+    bool farm = false;
+    ClientOptions client = ServiceClient::optionsFromEnv();
 };
+
+/** One connection configured from the command line + environment. */
+ServiceClient
+connectTo(const Options &opt)
+{
+    ClientOptions copts = opt.client;
+    copts.connectTimeoutMs = opt.timeoutMs;
+    return ServiceClient(opt.socket, copts);
+}
 
 Options
 parse(int argc, char **argv)
@@ -148,6 +180,17 @@ parse(int argc, char **argv)
             opt.deadlineMs = std::stoull(value(i));
         else if (arg == "--timeout-ms")
             opt.timeoutMs = std::stoi(value(i));
+        else if (arg == "--request-timeout-ms")
+            opt.client.requestTimeoutMs = std::stoi(value(i));
+        else if (arg == "--retries")
+            opt.client.maxRetries =
+                static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--retry-base-ms")
+            opt.client.backoffBaseMs = std::stoull(value(i));
+        else if (arg == "--retry-cap-ms")
+            opt.client.backoffCapMs = std::stoull(value(i));
+        else if (arg == "--farm")
+            opt.farm = true;
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else if (!arg.empty() && arg[0] == '-') {
@@ -199,11 +242,14 @@ runOne(Options &opt)
     ExperimentConfig cfg = opt.base;
     cfg.workload = opt.workloads.at(0);
     cfg.scheme = parseSchemeToken(opt.schemes.at(0));
-    ServiceClient client(opt.socket, opt.timeoutMs);
+    ServiceClient client = connectTo(opt);
     const ServiceClient::Outcome out =
         client.run(cfg, opt.priority, opt.deadlineMs);
     if (!out.ok) {
-        std::cerr << "vcoma_client: " << (out.shed ? "shed: " : "failed: ")
+        std::cerr << "vcoma_client: "
+                  << (out.shed      ? "shed: "
+                      : out.timedOut ? "timed out: "
+                                     : "failed: ")
                   << out.error << "\n";
         return out.shed ? 3 : 1;
     }
@@ -225,15 +271,27 @@ runSweep(Options &opt)
     }
     std::filesystem::create_directories(opt.outDir);
     const std::vector<ExperimentConfig> cfgs = sweepConfigs(opt);
-    ServiceClient client(opt.socket, opt.timeoutMs);
-    const auto outcomes =
-        client.batch(cfgs, opt.priority, opt.deadlineMs);
+    ServiceClient client = connectTo(opt);
+    std::vector<ServiceClient::Outcome> outcomes;
+    if (opt.farm) {
+        // One resilient submission per config: a lost connection or
+        // timeout retries with backoff, so a worker SIGKILLed
+        // mid-sweep costs a resubmit, not the sweep.
+        outcomes.reserve(cfgs.size());
+        for (const ExperimentConfig &cfg : cfgs)
+            outcomes.push_back(client.runResilient(
+                cfg, opt.priority, opt.deadlineMs));
+    } else {
+        outcomes = client.batch(cfgs, opt.priority, opt.deadlineMs);
+    }
     int rc = 0;
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
         const auto &out = outcomes.at(i);
         if (!out.ok) {
             std::cerr << "vcoma_client: " << cfgs[i].key() << ": "
-                      << (out.shed ? "shed: " : "failed: ")
+                      << (out.shed      ? "shed: "
+                          : out.timedOut ? "timed out: "
+                                         : "failed: ")
                       << out.error << "\n";
             rc = out.shed ? 3 : 1;
             continue;
@@ -280,7 +338,7 @@ try {
     Options opt = parse(argc, argv);
 
     if (opt.command == "ping") {
-        ServiceClient client(opt.socket, opt.timeoutMs);
+        ServiceClient client = connectTo(opt);
         if (!client.ping()) {
             std::cerr << "vcoma_client: no pong\n";
             return 1;
@@ -295,12 +353,12 @@ try {
     if (opt.command == "direct")
         return runDirect(opt);
     if (opt.command == "stats") {
-        ServiceClient client(opt.socket, opt.timeoutMs);
+        ServiceClient client = connectTo(opt);
         std::cout << client.statsLine() << "\n";
         return 0;
     }
     if (opt.command == "shutdown") {
-        ServiceClient client(opt.socket, opt.timeoutMs);
+        ServiceClient client = connectTo(opt);
         if (!client.shutdown()) {
             std::cerr << "vcoma_client: shutdown not acknowledged\n";
             return 1;

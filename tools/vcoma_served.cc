@@ -1,25 +1,41 @@
 /**
  * @file
- * vcoma_served — the persistent simulation daemon.
+ * vcoma_served — the persistent simulation daemon, and (with --farm)
+ * the fault-tolerant farm router in front of a fleet of them.
  *
- * Listens on a Unix-domain socket, executes job requests through one
- * shared Runner (warm in-memory memo + disk cache across every
- * client), and sheds load explicitly when the bounded queue fills.
+ * Worker mode: listens on a Unix-domain socket or TCP endpoint,
+ * executes job requests through one shared Runner (warm in-memory
+ * memo + disk cache across every client), and sheds load explicitly
+ * when the bounded queue fills. $VCOMA_CHAOS arms the chaos monkey
+ * (drop/delay/SIGKILL) for failover testing — worker mode only; the
+ * router is the recovery layer and stays sane.
  *
  *   vcoma_served --socket /tmp/vcoma.sock
- *   vcoma_served --socket vcoma.sock --capacity 128 --workers 8
+ *   vcoma_served --listen tcp:127.0.0.1:7717 --capacity 128 --workers 8
+ *
+ * Farm mode: routes run/batch requests across worker endpoints by
+ * config key on a consistent-hash ring, with heartbeat health checks
+ * and failover (see service/farm.hh).
+ *
+ *   vcoma_served --listen tcp:127.0.0.1:7700 \
+ *                --farm tcp:127.0.0.1:7701,tcp:127.0.0.1:7702
+ *   VCOMA_FARM_WORKERS=a.sock,b.sock vcoma_served --farm env
  *
  * Stops on a {"op":"shutdown"} request or SIGINT/SIGTERM; either way
- * queued jobs finish before exit (graceful drain).
+ * queued jobs finish before exit (graceful drain). A farm shutdown
+ * also fans out to the workers.
  */
 
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 
+#include "common/env.hh"
+#include "service/farm.hh"
 #include "service/server.hh"
 
 using namespace vcoma;
@@ -40,55 +56,48 @@ usage(int code)
 {
     std::cout <<
         "usage: vcoma_served [options]\n"
-        "  --socket PATH    Unix-domain socket path (default vcoma.sock)\n"
-        "  --capacity N     job-queue capacity (default 64)\n"
-        "  --workers N      executor threads (default $VCOMA_JOBS)\n"
-        "  --cache-dir DIR  disk cache (default $VCOMA_CACHE_DIR or\n"
-        "                   .vcoma_cache; honours $VCOMA_NO_CACHE and\n"
-        "                   $VCOMA_CACHE_MAX_MB)\n"
+        "  --listen EP       endpoint: a Unix socket path or\n"
+        "                    tcp:HOST:PORT (default vcoma.sock)\n"
+        "  --socket EP       synonym for --listen\n"
+        "  --farm EPS        route instead of simulate: comma-separated\n"
+        "                    worker endpoints, or 'env' to read\n"
+        "                    $VCOMA_FARM_WORKERS\n"
+        "worker options:\n"
+        "  --capacity N      job-queue capacity (default 64)\n"
+        "  --workers N       executor threads (default $VCOMA_JOBS)\n"
+        "  --cache-dir DIR   disk cache (default $VCOMA_CACHE_DIR or\n"
+        "                    .vcoma_cache; honours $VCOMA_NO_CACHE and\n"
+        "                    $VCOMA_CACHE_MAX_MB)\n"
+        "  --preload         warm the in-memory memo from the disk\n"
+        "                    cache at startup (or $VCOMA_PRELOAD=1)\n"
+        "farm options:\n"
+        "  --heartbeat-ms N  worker ping period (default 500, or\n"
+        "                    $VCOMA_HEARTBEAT_MS)\n"
+        "  --miss-threshold N  consecutive missed heartbeats before a\n"
+        "                    worker is evicted (default 3)\n"
+        "shared options:\n"
+        "  --io-timeout-ms N per-connection I/O deadline (default\n"
+        "                    30000; 0 = none)\n"
         "  --help\n";
     std::exit(code);
 }
 
-} // namespace
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
 
-int
-main(int argc, char **argv)
-try {
-    ServiceConfig cfg;
-    std::string cacheDir = Runner::defaultCacheDir();
-    auto value = [&](int &i) -> std::string {
-        if (i + 1 >= argc) {
-            std::cerr << "missing value for " << argv[i] << "\n";
-            usage(2);
-        }
-        return argv[++i];
-    };
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--socket")
-            cfg.socketPath = value(i);
-        else if (arg == "--capacity")
-            cfg.queueCapacity = std::stoull(value(i));
-        else if (arg == "--workers")
-            cfg.workers = static_cast<unsigned>(std::stoul(value(i)));
-        else if (arg == "--cache-dir")
-            cacheDir = value(i);
-        else if (arg == "--help" || arg == "-h")
-            usage(0);
-        else {
-            std::cerr << "unknown option '" << arg << "'\n";
-            usage(2);
-        }
-    }
-
-    Runner runner(cacheDir);
-    ServiceServer server(runner, cfg);
-    server.start();
-    std::cout << "vcoma_served: listening on " << cfg.socketPath
-              << " (capacity " << cfg.queueCapacity << ")"
-              << std::endl;
-
+/** Park until a shutdown request or a signal stops @p server. */
+void
+serveUntilStopped(LineServer &server)
+{
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     // Signal handlers may only flip the flag; this poller turns it
@@ -103,9 +112,107 @@ try {
                 std::chrono::milliseconds(100));
         }
     });
-
     server.waitUntilStopped();
     poller.join();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    ServiceConfig cfg;
+    FarmConfig fcfg;
+    std::string endpoint = cfg.endpoint;
+    std::string farmWorkers;
+    std::string cacheDir = Runner::defaultCacheDir();
+    bool preload = envTruthy("VCOMA_PRELOAD");
+    fcfg.heartbeatMs = [] {
+        const char *s = std::getenv("VCOMA_HEARTBEAT_MS");
+        return s && *s ? std::strtoull(s, nullptr, 10)
+                       : FarmConfig{}.heartbeatMs;
+    }();
+
+    auto value = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            usage(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket" || arg == "--listen")
+            endpoint = value(i);
+        else if (arg == "--farm")
+            farmWorkers = value(i);
+        else if (arg == "--capacity")
+            cfg.queueCapacity = std::stoull(value(i));
+        else if (arg == "--workers")
+            cfg.workers = static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--cache-dir")
+            cacheDir = value(i);
+        else if (arg == "--preload")
+            preload = true;
+        else if (arg == "--heartbeat-ms")
+            fcfg.heartbeatMs = std::stoull(value(i));
+        else if (arg == "--miss-threshold")
+            fcfg.missThreshold =
+                static_cast<unsigned>(std::stoul(value(i)));
+        else if (arg == "--io-timeout-ms")
+            cfg.ioTimeoutMs = fcfg.ioTimeoutMs = std::stoi(value(i));
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            usage(2);
+        }
+    }
+
+    if (!farmWorkers.empty()) {
+        // Farm router: no Runner, no chaos — just routing.
+        if (farmWorkers == "env") {
+            const char *s = std::getenv("VCOMA_FARM_WORKERS");
+            farmWorkers = s ? s : "";
+        }
+        fcfg.endpoint = endpoint;
+        fcfg.workers = splitList(farmWorkers);
+        if (fcfg.workers.empty()) {
+            std::cerr << "--farm needs at least one worker endpoint "
+                         "(or $VCOMA_FARM_WORKERS)\n";
+            return 2;
+        }
+        FarmRouter router(fcfg);
+        router.startFarm();
+        std::cout << "vcoma_served: farm on " << router.boundEndpoint()
+                  << " routing " << fcfg.workers.size()
+                  << " worker(s), heartbeat " << fcfg.heartbeatMs
+                  << " ms" << std::endl;
+        serveUntilStopped(router);
+        std::cout << "vcoma_served: farm drained, exiting"
+                  << std::endl;
+        return 0;
+    }
+
+    cfg.endpoint = endpoint;
+    cfg.chaos = chaosSpecFromEnv();
+    if (cfg.chaos.enabled)
+        std::cout << "vcoma_served: CHAOS armed (" <<
+            cfg.chaos.describe() << ")" << std::endl;
+
+    Runner runner(cacheDir);
+    if (preload) {
+        const std::size_t warmed = runner.preloadCache();
+        std::cout << "vcoma_served: preloaded " << warmed
+                  << " cached result(s)" << std::endl;
+    }
+    ServiceServer server(runner, cfg);
+    server.start();
+    std::cout << "vcoma_served: listening on " << server.boundEndpoint()
+              << " (capacity " << cfg.queueCapacity << ")"
+              << std::endl;
+
+    serveUntilStopped(server);
     std::cout << "vcoma_served: drained, exiting" << std::endl;
     return 0;
 } catch (const std::exception &e) {
