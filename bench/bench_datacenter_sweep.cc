@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The datacenter sensitivity sweep: KVLOOKUP across Zipf skew x read
+ * ratio and GRAPH across working-set multipliers, comparing the
+ * paper's per-node L0-TLB against V-COMA's home-node DLB — the
+ * filtering/sharing argument of Section 5 re-measured on
+ * pointer-chasing, skewed-sharing traffic the paper never saw.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::BenchReport report("datacenter_sweep");
+    const double scale = vcoma_bench::banner("Datacenter sweep");
+    vcoma::Runner runner;
+    // The whole sweep, built up front: cache misses execute
+    // concurrently on VCOMA_JOBS workers, and the table code
+    // below renders from memo hits (byte-identical to serial).
+    runner.runAll(vcoma::datacenterSweepConfigs(scale));
+    for (const auto &table : vcoma::datacenterSweeps(runner, scale))
+        sink(table);
+    vcoma_bench::footer(runner);
+    report.finish(&runner);
+    return 0;
+}

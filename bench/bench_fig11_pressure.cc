@@ -17,7 +17,12 @@ main(int argc, char **argv)
     // concurrently on VCOMA_JOBS workers, and the table code
     // below renders from memo hits (byte-identical to serial).
     runner.runAll(vcoma::missStudyVcomaConfigs(scale));
+    runner.runAll(vcoma::missStudyVcomaConfigs(
+        scale, vcoma::datacenterBenchmarks()));
     for (const auto &table : vcoma::figure11Pressure(runner, scale))
+        sink(table);
+    for (const auto &table : vcoma::figure11Pressure(
+             runner, scale, vcoma::datacenterBenchmarks()))
         sink(table);
     vcoma_bench::footer(runner);
     report.finish(&runner);

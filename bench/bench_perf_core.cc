@@ -179,6 +179,24 @@ measureLive(bool fastPath, unsigned iterations, unsigned reps)
     return best;
 }
 
+/** Live KVLOOKUP, a fresh workload per rep (one-shot coroutines). */
+Measurement
+measureKvLive(const MachineConfig &cfg, const WorkloadParams &wp,
+              unsigned reps)
+{
+    Measurement best;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        const auto w = makeWorkload("KVLOOKUP", wp);
+        const Measurement m = measureRuns(cfg, *w, 1);
+        best.refsPerSec = std::max(best.refsPerSec, m.refsPerSec);
+        if (rep == 0) {
+            best.json = m.json;
+            best.dump = m.dump;
+        }
+    }
+    return best;
+}
+
 } // namespace
 
 int
@@ -223,6 +241,38 @@ main()
     }
     std::filesystem::remove(traceFile);
 
+    // Fourth mode: the pointer-chasing regime. KVLOOKUP's dependent
+    // hash-chain chases are the opposite of the FLC-resweep's
+    // hit-heavy loop — mostly remote traffic the fast path cannot
+    // filter — so its live-vs-replay ratio tracks the batch-drain
+    // replay loop's worth on datacenter streams specifically.
+    Measurement kvLive;
+    Measurement kvReplay;
+    {
+        const MachineConfig cfg = perfConfig(true);
+        WorkloadParams wp;
+        wp.threads = cfg.numNodes;
+        wp.scale = 0.5;
+        kvLive = measureKvLive(cfg, wp, reps);
+        const std::string kvTraceFile =
+            (std::filesystem::temp_directory_path() /
+             ("vcoma_perf_kv." + std::to_string(::getpid()) +
+              ".vctrace"))
+                .string();
+        const auto live = makeWorkload("KVLOOKUP", wp);
+        RecordingWorkload recorder(*live, kvTraceFile,
+                                   "perf_core_kvlookup");
+        Machine machine(cfg);
+        machine.run(recorder);
+        if (!recorder.finalize()) {
+            std::cerr << "FAIL: could not record the KVLOOKUP trace\n";
+            return 1;
+        }
+        ReplayWorkload replayed(kvTraceFile);
+        kvReplay = measureRuns(cfg, replayed, reps);
+        std::filesystem::remove(kvTraceFile);
+    }
+
     std::cout << "fast path off: " << static_cast<std::uint64_t>(
                      slow.refsPerSec) << " refs/sec\n"
               << "fast path on:  " << static_cast<std::uint64_t>(
@@ -232,7 +282,13 @@ main()
               << "speedup:       " << fast.refsPerSec / slow.refsPerSec
               << "x (fast/slow), "
               << replay.refsPerSec / fast.refsPerSec
-              << "x (replay/fast)\n";
+              << "x (replay/fast)\n"
+              << "kvlookup live:   " << static_cast<std::uint64_t>(
+                     kvLive.refsPerSec) << " refs/sec\n"
+              << "kvlookup replay: " << static_cast<std::uint64_t>(
+                     kvReplay.refsPerSec) << " refs/sec ("
+              << kvReplay.refsPerSec / kvLive.refsPerSec
+              << "x)\n";
 
     report.metric("refs_per_sec_slow", slow.refsPerSec);
     report.metric("refs_per_sec_fast", fast.refsPerSec);
@@ -240,6 +296,10 @@ main()
     report.metric("speedup", fast.refsPerSec / slow.refsPerSec);
     report.metric("replay_speedup",
                   replay.refsPerSec / fast.refsPerSec);
+    report.metric("kvlookup_refs_per_sec_live", kvLive.refsPerSec);
+    report.metric("kvlookup_refs_per_sec_replay", kvReplay.refsPerSec);
+    report.metric("kvlookup_replay_speedup",
+                  kvReplay.refsPerSec / kvLive.refsPerSec);
     report.finish(nullptr);
 
     bool ok = true;
@@ -259,9 +319,18 @@ main()
                       << "\n";
         ok = false;
     }
+    if (kvReplay.json != kvLive.json || kvReplay.dump != kvLive.dump) {
+        std::cerr << "FAIL: KVLOOKUP replay diverged from the live "
+                     "run\n";
+        if (kvReplay.json != kvLive.json)
+            std::cerr << "RunStats JSON differs:\n  live:   "
+                      << kvLive.json << "\n  replay: " << kvReplay.json
+                      << "\n";
+        ok = false;
+    }
     if (!ok)
         return 1;
     std::cout << "\n[statistics identical across slow path, fast path "
-                 "and trace replay]\n";
+                 "and trace replay, live and replayed KVLOOKUP]\n";
     return 0;
 }

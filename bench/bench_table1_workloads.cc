@@ -1,7 +1,8 @@
 /**
  * @file
  * Reproduces Table 1: benchmark parameters and shared-memory
- * footprints of the six SPLASH-2-style kernels.
+ * footprints of the six SPLASH-2-style kernels, plus the same
+ * inventory for the synthetic datacenter suite.
  */
 
 #include "bench_util.hh"
@@ -13,6 +14,8 @@ main(int argc, char **argv)
     vcoma_bench::BenchReport report("table1_workloads");
     const double scale = vcoma_bench::banner("Table 1 (benchmarks)");
     sink(vcoma::table1Benchmarks(scale));
+    sink(vcoma::table1Benchmarks(scale, vcoma::datacenterBenchmarks(),
+                                 "datacenter"));
     report.finish(nullptr);
     return 0;
 }

@@ -17,7 +17,12 @@ main(int argc, char **argv)
     // concurrently on VCOMA_JOBS workers, and the table code
     // below renders from memo hits (byte-identical to serial).
     runner.runAll(vcoma::missStudySweepConfigs(scale));
+    runner.runAll(vcoma::missStudySweepConfigs(
+        scale, vcoma::datacenterBenchmarks()));
     sink(vcoma::table3EquivalentSize(runner, scale));
+    sink(vcoma::table3EquivalentSize(runner, scale,
+                                     vcoma::datacenterBenchmarks(),
+                                     "datacenter"));
     vcoma_bench::footer(runner);
     report.finish(&runner);
     return 0;

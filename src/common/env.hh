@@ -45,10 +45,15 @@ envTruthy(const char *name)
 
 /**
  * Numeric-or-boolean environment knob. Unset or falsy values yield 0
- * (feature off); a number greater than 1 yields that number; any
+ * (feature off); a number greater than 1 (decimal or 0x-prefixed
+ * hex, surrounding whitespace tolerated) yields that number; any
  * other truthy value ("1", "true", ...) yields @p enabledDefault.
  * One variable can thus both switch a feature on and tune it
- * (VCOMA_CHECK=1 vs VCOMA_CHECK=256).
+ * (VCOMA_CHECK=1 vs VCOMA_CHECK=256). A value that starts with a
+ * number but carries trailing garbage ("5x", "16 pages") is rejected
+ * with a warning naming the variable and the ignored suffix, and
+ * yields @p enabledDefault — it is never silently misread as a
+ * different number.
  */
 inline std::uint64_t
 envScaledFlag(const char *name, std::uint64_t enabledDefault)
@@ -66,10 +71,24 @@ envScaledFlag(const char *name, std::uint64_t enabledDefault)
              enabledDefault);
         return enabledDefault;
     }
+    // Base 16 only behind an explicit 0x prefix; a leading zero must
+    // not silently switch to octal.
+    const int base =
+        (p[0] == '0' && (p[1] == 'x' || p[1] == 'X')) ? 16 : 10;
     char *end = nullptr;
-    const unsigned long long v = std::strtoull(s, &end, 10);
-    if (end != s && *end == '\0')
+    const unsigned long long v = std::strtoull(p, &end, base);
+    if (end != p) {
+        const char *rest = end;
+        while (std::isspace(static_cast<unsigned char>(*rest)))
+            ++rest;
+        if (*rest != '\0') {
+            warn(name, "='", s, "': trailing '", end,
+                 "' is not part of a number; using the default of ",
+                 enabledDefault);
+            return enabledDefault;
+        }
         return v > 1 ? v : (v == 1 ? enabledDefault : 0);
+    }
     return envTruthy(name) ? enabledDefault : 0;
 }
 

@@ -44,11 +44,33 @@ class Rng
         return state_ * 0x2545f4914f6cdd1dULL;
     }
 
-    /** Uniform value in [0, bound); @p bound must be non-zero. */
+    /**
+     * Uniform value in [0, bound); @p bound must be non-zero.
+     *
+     * Lemire's multiply-shift rejection method: `next() % bound`
+     * would over-weight the low residues whenever 2^64 is not a
+     * multiple of @p bound (for bound = 3<<62 the first quarter of
+     * the range is twice as likely), which skewed every
+     * non-power-of-two draw — victim selection, UNIFORM's address
+     * draws, the datacenter kernels' Zipf tables. The rejection loop
+     * discards just enough of the 64-bit space to make every value
+     * exactly equally likely; it iterates at most once in
+     * expectation.
+     */
     std::uint64_t
     below(std::uint64_t bound)
     {
-        return next() % bound;
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                m = static_cast<unsigned __int128>(next()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
     }
 
     /** Uniform double in [0, 1). */

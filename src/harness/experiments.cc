@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <set>
 
 #include "common/logging.hh"
@@ -85,35 +86,98 @@ timedConfig(const std::string &workload, Scheme scheme, unsigned entries,
     return cfg;
 }
 
+/** An empty benchmark list means the paper's six SPLASH-2 kernels. */
+const std::vector<std::string> &
+resolveBenchmarks(const std::vector<std::string> &benchmarks)
+{
+    return benchmarks.empty() ? paperBenchmarks() : benchmarks;
+}
+
+std::string
+suiteTag(const std::string &suite)
+{
+    return suite.empty() ? "" : " [" + suite + "]";
+}
+
+/** Stable two-decimal spelling for inline workload knobs. */
+std::string
+knob2(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
+/** The KVLOOKUP skew x read-ratio grid of the datacenter sweep. */
+const std::vector<double> kvSkews{0.2, 0.6, 0.99, 1.3};
+const std::vector<double> kvReads{0.5, 0.95};
+/** The GRAPH working-set multipliers of the datacenter sweep. */
+const std::vector<double> graphWs{0.5, 1.0, 2.0, 4.0};
+
+std::string
+kvSweepSpelling(double skew, double read)
+{
+    return "KVLOOKUP:skew=" + knob2(skew) + ",read=" + knob2(read);
+}
+
+std::string
+graphSweepSpelling(double ws)
+{
+    return "GRAPH:ws=" + knob2(ws);
+}
+
 } // namespace
 
 std::vector<ExperimentConfig>
-missStudySweepConfigs(double scale)
+missStudySweepConfigs(double scale,
+                      const std::vector<std::string> &benchmarks)
 {
     std::vector<ExperimentConfig> cfgs;
-    for (const auto &name : paperBenchmarks())
+    for (const auto &name : resolveBenchmarks(benchmarks))
         for (Scheme s : allSchemes)
             cfgs.push_back(missStudyConfig(name, s, scale));
     return cfgs;
 }
 
 std::vector<ExperimentConfig>
-missStudyVcomaConfigs(double scale)
+missStudyVcomaConfigs(double scale,
+                      const std::vector<std::string> &benchmarks)
 {
     std::vector<ExperimentConfig> cfgs;
-    for (const auto &name : paperBenchmarks())
+    for (const auto &name : resolveBenchmarks(benchmarks))
         cfgs.push_back(missStudyConfig(name, Scheme::VCOMA, scale));
     return cfgs;
 }
 
 std::vector<ExperimentConfig>
-table4Configs(double scale)
+table4Configs(double scale, const std::vector<std::string> &benchmarks)
 {
     std::vector<ExperimentConfig> cfgs;
     for (unsigned entries : {8u, 16u})
         for (Scheme s : {Scheme::L0, Scheme::VCOMA})
-            for (const auto &name : paperBenchmarks())
+            for (const auto &name : resolveBenchmarks(benchmarks))
                 cfgs.push_back(timedConfig(name, s, entries, 0, scale));
+    return cfgs;
+}
+
+std::vector<ExperimentConfig>
+datacenterSweepConfigs(double scale)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (double skew : kvSkews) {
+        for (double read : kvReads) {
+            for (Scheme s : {Scheme::L0, Scheme::VCOMA}) {
+                cfgs.push_back(missStudyConfig(
+                    kvSweepSpelling(skew, read), s, scale));
+            }
+        }
+    }
+    for (double ws : graphWs) {
+        for (Scheme s : {Scheme::L0, Scheme::VCOMA}) {
+            cfgs.push_back(
+                missStudyConfig(graphSweepSpelling(ws), s, scale));
+        }
+    }
     return cfgs;
 }
 
@@ -216,13 +280,16 @@ layoutPressureConfigs(double scale)
 }
 
 Table
-table1Benchmarks(double scale)
+table1Benchmarks(double scale,
+                 const std::vector<std::string> &benchmarks,
+                 const std::string &suite)
 {
-    Table t("Table 1: Benchmarks (scale=" + Table::num(scale, 2) + ")");
+    Table t("Table 1" + suiteTag(suite) + ": Benchmarks (scale=" +
+            Table::num(scale, 2) + ")");
     t.header({"Benchmark", "Parameters", "Shared Memory (MB)"});
     WorkloadParams wp;
     wp.scale = scale;
-    for (const auto &name : paperBenchmarks()) {
+    for (const auto &name : resolveBenchmarks(benchmarks)) {
         auto w = makeWorkload(name, wp);
         t.row({w->name(), w->parameters(),
                Table::num(static_cast<double>(w->sharedBytes()) /
@@ -269,10 +336,13 @@ figure8MissCurves(Runner &runner, double scale)
 }
 
 Table
-table2MissRates(Runner &runner, double scale)
+table2MissRates(Runner &runner, double scale,
+                const std::vector<std::string> &benchmarks,
+                const std::string &suite)
 {
-    runner.runAll(missStudySweepConfigs(scale));
-    Table t("Table 2: TLB/DLB miss rates per processor reference (%)");
+    runner.runAll(missStudySweepConfigs(scale, benchmarks));
+    Table t("Table 2" + suiteTag(suite) +
+            ": TLB/DLB miss rates per processor reference (%)");
     std::vector<std::string> header{"SYSTEM"};
     for (unsigned size : {8u, 32u, 128u}) {
         for (Scheme s : allSchemes) {
@@ -282,7 +352,7 @@ table2MissRates(Runner &runner, double scale)
     }
     t.header(header);
     CellReader cell(runner, t);
-    for (const auto &name : paperBenchmarks()) {
+    for (const auto &name : resolveBenchmarks(benchmarks)) {
         std::vector<std::string> row{name};
         for (unsigned size : {8u, 32u, 128u}) {
             for (Scheme s : allSchemes) {
@@ -341,14 +411,17 @@ equivalentSize(const RunStats &stats, bool includeWritebacks,
 } // namespace
 
 Table
-table3EquivalentSize(Runner &runner, double scale)
+table3EquivalentSize(Runner &runner, double scale,
+                     const std::vector<std::string> &benchmarks,
+                     const std::string &suite)
 {
-    runner.runAll(missStudySweepConfigs(scale));
-    Table t("Table 3: TLB size equivalent to an 8-entry DLB");
+    runner.runAll(missStudySweepConfigs(scale, benchmarks));
+    Table t("Table 3" + suiteTag(suite) +
+            ": TLB size equivalent to an 8-entry DLB");
     t.header({"Benchmark", "L0-TLB", "L1-TLB", "L2-TLB", "L3-TLB",
               "DLB/8 misses/node"});
     CellReader cell(runner, t);
-    for (const auto &name : paperBenchmarks()) {
+    for (const auto &name : resolveBenchmarks(benchmarks)) {
         const RunStats *vcoma =
             cell(missStudyConfig(name, Scheme::VCOMA, scale));
         std::vector<std::string> row{name};
@@ -418,12 +491,15 @@ figure9DirectMapped(Runner &runner, double scale)
 }
 
 Table
-table4StallShare(Runner &runner, double scale)
+table4StallShare(Runner &runner, double scale,
+                 const std::vector<std::string> &benchmarks,
+                 const std::string &suite)
 {
-    runner.runAll(table4Configs(scale));
-    Table t("Table 4: address translation time / total stall time (%)");
+    runner.runAll(table4Configs(scale, benchmarks));
+    Table t("Table 4" + suiteTag(suite) +
+            ": address translation time / total stall time (%)");
     std::vector<std::string> header{"Config"};
-    for (const auto &name : paperBenchmarks())
+    for (const auto &name : resolveBenchmarks(benchmarks))
         header.push_back(name);
     t.header(header);
     struct Row
@@ -441,7 +517,7 @@ table4StallShare(Runner &runner, double scale)
     CellReader cell(runner, t);
     for (const Row &r : rows) {
         std::vector<std::string> row{r.label};
-        for (const auto &name : paperBenchmarks()) {
+        for (const auto &name : resolveBenchmarks(benchmarks)) {
             const RunStats *stats = cell(
                 timedConfig(name, r.scheme, r.entries, 0, scale));
             row.push_back(
@@ -538,11 +614,12 @@ figure10ExecTime(Runner &runner, double scale)
 }
 
 std::vector<Table>
-figure11Pressure(Runner &runner, double scale)
+figure11Pressure(Runner &runner, double scale,
+                 const std::vector<std::string> &benchmarks)
 {
-    runner.runAll(missStudyVcomaConfigs(scale));
+    runner.runAll(missStudyVcomaConfigs(scale, benchmarks));
     std::vector<Table> tables;
-    for (const auto &name : paperBenchmarks()) {
+    for (const auto &name : resolveBenchmarks(benchmarks)) {
         Table t("Figure 11 (" + name +
                 "): pressure profile over global page sets");
         t.header({"set group", "mean pressure", "max pressure"});
@@ -799,6 +876,79 @@ layoutPressure(Runner &runner, double scale)
                std::to_string(stats->swapOuts)});
     }
     return t;
+}
+
+namespace
+{
+
+/**
+ * One row of a datacenter sensitivity table: both schemes' 8-entry
+ * miss rates plus the V-COMA run's DLB filtering/sharing evidence.
+ */
+std::vector<std::string>
+datacenterSweepRow(CellReader &cell, const std::string &label,
+                   const std::string &spelling, double scale)
+{
+    const RunStats *tlb =
+        cell(missStudyConfig(spelling, Scheme::L0, scale));
+    const RunStats *dlb =
+        cell(missStudyConfig(spelling, Scheme::VCOMA, scale));
+    std::vector<std::string> row{label};
+    row.push_back(tlb ? Table::num(tlb->missRatePct(8, 0, false), 2)
+                      : failedCell);
+    row.push_back(dlb ? Table::num(dlb->missRatePct(8, 0, true), 4)
+                      : failedCell);
+    if (dlb) {
+        const double refs =
+            std::max<double>(1.0, static_cast<double>(dlb->totalRefs()));
+        row.push_back(Table::num(
+            100.0 * static_cast<double>(dlb->dlbFilteredRefs) / refs,
+            1));
+        row.push_back(std::to_string(dlb->dlbSharedHits));
+        row.push_back(std::to_string(dlb->remoteReads));
+    } else {
+        row.insert(row.end(), 3, failedCell);
+    }
+    return row;
+}
+
+} // namespace
+
+std::vector<Table>
+datacenterSweeps(Runner &runner, double scale)
+{
+    runner.runAll(datacenterSweepConfigs(scale));
+    std::vector<Table> tables;
+
+    Table kv("Datacenter sweep (KVLOOKUP): Zipf skew x read ratio, "
+             "8-entry L0-TLB vs DLB");
+    kv.header({"skew/read", "L0-TLB miss%", "DLB miss%",
+               "DLB filtered%", "DLB shared hits", "remote reads"});
+    {
+        CellReader cell(runner, kv);
+        for (double skew : kvSkews) {
+            for (double read : kvReads) {
+                kv.row(datacenterSweepRow(
+                    cell, knob2(skew) + "/" + knob2(read),
+                    kvSweepSpelling(skew, read), scale));
+            }
+        }
+    }
+    tables.push_back(std::move(kv));
+
+    Table g("Datacenter sweep (GRAPH): working-set multiplier, "
+            "8-entry L0-TLB vs DLB");
+    g.header({"ws", "L0-TLB miss%", "DLB miss%", "DLB filtered%",
+              "DLB shared hits", "remote reads"});
+    {
+        CellReader cell(runner, g);
+        for (double ws : graphWs) {
+            g.row(datacenterSweepRow(cell, knob2(ws),
+                                     graphSweepSpelling(ws), scale));
+        }
+    }
+    tables.push_back(std::move(g));
+    return tables;
 }
 
 } // namespace vcoma

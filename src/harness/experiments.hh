@@ -26,14 +26,37 @@ namespace vcoma
  * serial run.
  */
 
+/**
+ * Several sweeps and tables run over a benchmark list: the default
+ * (empty) list means the paper's six SPLASH-2 benchmarks; passing
+ * datacenterBenchmarks() (or any custom list, including knobbed
+ * spellings and "TRACE:<path>" entries) reuses the identical grid
+ * over other workloads. Tables take an optional @p suite label that
+ * is appended to the title so the two variants stay distinguishable
+ * in one bench report.
+ */
+
 /** All benchmarks x all five schemes, untimed (Fig. 8/9, Tables 2/3). */
-std::vector<ExperimentConfig> missStudySweepConfigs(double scale);
+std::vector<ExperimentConfig>
+missStudySweepConfigs(double scale,
+                      const std::vector<std::string> &benchmarks = {});
 
 /** All benchmarks under V-COMA, untimed (Fig. 11, injection ablation). */
-std::vector<ExperimentConfig> missStudyVcomaConfigs(double scale);
+std::vector<ExperimentConfig>
+missStudyVcomaConfigs(double scale,
+                      const std::vector<std::string> &benchmarks = {});
 
 /** Table 4's timed TLB/DLB size points. */
-std::vector<ExperimentConfig> table4Configs(double scale);
+std::vector<ExperimentConfig>
+table4Configs(double scale,
+              const std::vector<std::string> &benchmarks = {});
+
+/**
+ * The datacenter skew/read-ratio/working-set sweep: KVLOOKUP across
+ * Zipf exponents and read ratios, GRAPH across working-set
+ * multipliers, each under L0-TLB and V-COMA (untimed miss study).
+ */
+std::vector<ExperimentConfig> datacenterSweepConfigs(double scale);
 
 /** Figure 10's timed variants (and RAYTRACE seed averages). */
 std::vector<ExperimentConfig> figure10Configs(double scale);
@@ -54,7 +77,9 @@ std::vector<ExperimentConfig> xlatCostConfigs(double scale);
 std::vector<ExperimentConfig> layoutPressureConfigs(double scale);
 
 /** Table 1: benchmark parameters and shared-memory footprints. */
-Table table1Benchmarks(double scale);
+Table table1Benchmarks(double scale,
+                       const std::vector<std::string> &benchmarks = {},
+                       const std::string &suite = "");
 
 /**
  * Figure 8: number of address-translation misses per node vs TLB/DLB
@@ -64,10 +89,15 @@ Table table1Benchmarks(double scale);
 std::vector<Table> figure8MissCurves(Runner &runner, double scale);
 
 /** Table 2: TLB/DLB miss rates per processor reference (%). */
-Table table2MissRates(Runner &runner, double scale);
+Table table2MissRates(Runner &runner, double scale,
+                      const std::vector<std::string> &benchmarks = {},
+                      const std::string &suite = "");
 
 /** Table 3: TLB size equivalent to an 8-entry DLB. */
-Table table3EquivalentSize(Runner &runner, double scale);
+Table table3EquivalentSize(
+    Runner &runner, double scale,
+    const std::vector<std::string> &benchmarks = {},
+    const std::string &suite = "");
 
 /**
  * Figure 9: direct-mapped vs fully associative TLB/DLB miss counts
@@ -76,7 +106,9 @@ Table table3EquivalentSize(Runner &runner, double scale);
 std::vector<Table> figure9DirectMapped(Runner &runner, double scale);
 
 /** Table 4: address translation time / total stall time (%). */
-Table table4StallShare(Runner &runner, double scale);
+Table table4StallShare(Runner &runner, double scale,
+                       const std::vector<std::string> &benchmarks = {},
+                       const std::string &suite = "");
 
 /**
  * Figure 10: execution-time breakdown (busy/sync/loc/rem/xlat) for
@@ -86,7 +118,18 @@ Table table4StallShare(Runner &runner, double scale);
 std::vector<Table> figure10ExecTime(Runner &runner, double scale);
 
 /** Figure 11: pressure profile across the global page sets. */
-std::vector<Table> figure11Pressure(Runner &runner, double scale);
+std::vector<Table>
+figure11Pressure(Runner &runner, double scale,
+                 const std::vector<std::string> &benchmarks = {});
+
+/**
+ * Datacenter sensitivity tables: KVLOOKUP swept over Zipf skew x
+ * read ratio and GRAPH over working-set multipliers, comparing the
+ * paper's per-node L0-TLB against V-COMA's home-node DLB on miss
+ * rates and the DLB's filtering/sharing evidence — the paper's
+ * Section 5 argument re-run in a regime it never measured.
+ */
+std::vector<Table> datacenterSweeps(Runner &runner, double scale);
 
 /** Section 6: virtual-tag memory overhead vs block size. */
 Table tagOverheadTable();

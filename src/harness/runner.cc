@@ -33,7 +33,49 @@ namespace vcoma
 namespace
 {
 
-constexpr const char *cacheMagic = "vcoma-cache-v3";
+/**
+ * v4: Rng::below() lost its modulo bias (Lemire rejection), which
+ * shifts every deterministic reference stream; sheets cached by
+ * earlier builds must never mix with fresh runs.
+ */
+constexpr const char *cacheMagic = "vcoma-cache-v4";
+
+/**
+ * Make one key component safe to embed in a file name. Plain
+ * workload names pass through byte-identical; a component carrying
+ * '/', ':' or other non-portable characters (a "TRACE:/path/to.vctrace"
+ * spelling, inline knob lists) has them replaced with '_' and gains
+ * an 8-hex-digit FNV-1a suffix of the original spelling, so distinct
+ * spellings can never collapse onto one cache entry.
+ */
+std::string
+sanitizeKeyComponent(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    bool dirty = false;
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        if (std::isalnum(u) || c == '.' || c == '_' || c == '-' ||
+            c == '=' || c == ',') {
+            out += c;
+        } else {
+            out += '_';
+            dirty = true;
+        }
+    }
+    if (!dirty)
+        return out;
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    std::ostringstream os;
+    os << out << "-h" << std::hex << std::setw(8) << std::setfill('0')
+       << static_cast<std::uint32_t>(h ^ (h >> 32));
+    return os.str();
+}
 
 /**
  * Poison a finished machine the way ExperimentConfig::injectFault
@@ -74,7 +116,8 @@ std::string
 ExperimentConfig::key() const
 {
     std::ostringstream os;
-    os << workload << "-" << schemeName(scheme) << "-e" << tlbEntries
+    os << sanitizeKeyComponent(workload) << "-" << schemeName(scheme)
+       << "-e" << tlbEntries
        << "-a" << tlbAssoc << "-t" << timedTranslation << "-w"
        << writebacksAccessTlb << "-v2_" << raytraceV2 << "-n" << nodes
        << "-s" << scale << "-r" << seed << "-k" << amAssoc << "-p"
@@ -89,6 +132,15 @@ ExperimentConfig::key() const
 Runner::Runner(std::string cacheDir)
     : cacheDir_(std::move(cacheDir)), traceDir_(envTraceDir())
 {
+    // Multi-tenant farms: $VCOMA_CACHE_TENANT namespaces this
+    // runner's entries into a per-tenant subdirectory with its own
+    // pruning budget, so one client's sweep can never evict another
+    // tenant's warm results. The global budget keeps bounding the
+    // shared root (pruning is non-recursive, so it never reaches
+    // into tenant subdirectories either way).
+    const std::string tenant = envCacheTenant();
+    if (!cacheDir_.empty() && !tenant.empty())
+        cacheDir_ += "/" + tenant;
     if (!cacheDir_.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(cacheDir_, ec);
@@ -99,8 +151,16 @@ Runner::Runner(std::string cacheDir)
         }
     }
     if (!cacheDir_.empty()) {
-        if (const std::uint64_t maxBytes = envCacheMaxBytes())
-            pruneCache(cacheDir_, maxBytes);
+        if (tenant.empty()) {
+            if (const std::uint64_t maxBytes = envCacheMaxBytes())
+                pruneCache(cacheDir_, maxBytes);
+        } else {
+            std::uint64_t maxBytes = envCacheTenantMaxBytes();
+            if (!maxBytes)
+                maxBytes = envCacheMaxBytes();
+            if (maxBytes)
+                pruneCache(cacheDir_, maxBytes);
+        }
     }
     if (!traceDir_.empty()) {
         std::error_code ec;
@@ -244,6 +304,36 @@ std::uint64_t
 Runner::envCacheMaxBytes()
 {
     return envMegabytes("VCOMA_CACHE_MAX_MB");
+}
+
+std::string
+Runner::envCacheTenant()
+{
+    const char *s = std::getenv("VCOMA_CACHE_TENANT");
+    if (!s || !*s)
+        return "";
+    const std::string tenant(s);
+    // The tenant becomes a path component; anything that could
+    // escape the cache directory or collide with an entry name is
+    // rejected loudly rather than half-honoured.
+    bool ok = tenant != "." && tenant != "..";
+    for (const char c : tenant) {
+        const auto u = static_cast<unsigned char>(c);
+        if (!std::isalnum(u) && c != '.' && c != '_' && c != '-')
+            ok = false;
+    }
+    if (!ok) {
+        warn("VCOMA_CACHE_TENANT='", s, "' is not a plain directory "
+             "name ([A-Za-z0-9._-], not . or ..): ignoring it");
+        return "";
+    }
+    return tenant;
+}
+
+std::uint64_t
+Runner::envCacheTenantMaxBytes()
+{
+    return envMegabytes("VCOMA_CACHE_TENANT_MAX_MB");
 }
 
 std::string
@@ -480,8 +570,12 @@ Runner::execute(const ExperimentConfig &cfg)
     // version- or key-mismatched) is rejected with a warning and the
     // run falls back to live generation, re-recording over it —
     // never a crash, never a silent partial replay.
+    // "TRACE:<path>" workloads already replay an external packed
+    // trace; recording them again (or shadowing them with a
+    // trace-dir entry whose recorded key can never match) would be
+    // circular, so they bypass the machinery entirely.
     std::string tracePath;
-    if (!traceDir_.empty())
+    if (!traceDir_.empty() && !isTraceSpelling(cfg.workload))
         tracePath = traceDir_ + "/" + cfg.key() + ".vctrace";
 
     try {
@@ -738,6 +832,15 @@ paperBenchmarks()
 {
     static const std::vector<std::string> names{
         "RADIX", "FFT", "FMM", "RAYTRACE", "BARNES", "OCEAN",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+datacenterBenchmarks()
+{
+    static const std::vector<std::string> names{
+        "KVLOOKUP", "GRAPH", "STREAMJOIN",
     };
     return names;
 }

@@ -169,6 +169,22 @@ class Runner
     static std::uint64_t envCacheMaxBytes();
 
     /**
+     * Cache tenant from $VCOMA_CACHE_TENANT, or "" (the default
+     * shared namespace). When set, this runner's entries live in
+     * `<cacheDir>/<tenant>/` and pruning applies the tenant budget
+     * ($VCOMA_CACHE_TENANT_MAX_MB, falling back to
+     * $VCOMA_CACHE_MAX_MB) to that subdirectory only — one farm
+     * client can never evict another tenant's warm results, and the
+     * shared root's non-recursive pruning never reaches into tenant
+     * subdirectories. Values that are not a plain directory name
+     * ([A-Za-z0-9._-], not "." or "..") are rejected with a warning.
+     */
+    static std::string envCacheTenant();
+
+    /** Tenant budget from $VCOMA_CACHE_TENANT_MAX_MB in bytes; 0 = unset. */
+    static std::uint64_t envCacheTenantMaxBytes();
+
+    /**
      * Reference-trace directory from $VCOMA_TRACE_DIR; empty string
      * (the default) disables record/replay. When set, the first
      * execution of a config records its packed memref trace under
@@ -232,6 +248,9 @@ class Runner
 
 /** The six paper benchmarks in Table 2's row order. */
 const std::vector<std::string> &paperBenchmarks();
+
+/** The synthetic datacenter kernels (KVLOOKUP, GRAPH, STREAMJOIN). */
+const std::vector<std::string> &datacenterBenchmarks();
 
 } // namespace vcoma
 

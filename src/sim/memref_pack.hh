@@ -84,8 +84,14 @@ constexpr std::size_t packedRecordBytes = 24;
 /** Size of the fixed file header (before the string section). */
 constexpr std::size_t packedHeaderBytes = 64;
 
-/** Format version written by this build. */
-constexpr std::uint32_t packedTraceVersion = 1;
+/**
+ * Format version written by this build. v2 has the identical byte
+ * layout as v1 but marks the unbiased Rng::below() era: traces
+ * recorded before the modulo-bias fix carry pre-fix reference
+ * streams and must re-record rather than silently replay into fresh
+ * sweeps (the disk-cache magic made the same jump to vcoma-cache-v4).
+ */
+constexpr std::uint32_t packedTraceVersion = 2;
 
 /** The 8-byte magic at offset 0. */
 constexpr char packedTraceMagic[8] = {'V', 'C', 'M', 'T',

@@ -1,5 +1,6 @@
 #include "sim/trace.hh"
 
+#include <cstdlib>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -126,8 +127,11 @@ TraceWorkload::TraceWorkload(std::istream &is, std::string name)
     VAddr hi = 0;
     while (std::getline(is, line)) {
         ++lineNo;
-        if (line.find_first_not_of(" \t\r") == std::string::npos)
+        const std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
             continue;  // blank lines stay tolerated
+        if (line[first] == '#')
+            continue;  // comment lines, for hand-written traces
         std::istringstream ls(line);
         unsigned tid = 0;
         char kind = 0;
@@ -151,9 +155,21 @@ TraceWorkload::TraceWorkload(std::istream &is, std::string name)
           case 'W': {
             ref.kind = MemRef::Kind::Mem;
             ref.type = kind == 'R' ? RefType::Read : RefType::Write;
-            if (!(ls >> ref.vaddr >> ref.work))
+            // External tools dump addresses in hex as often as in
+            // decimal; accept an explicit 0x prefix (never octal —
+            // a leading zero must not silently change the base).
+            std::string vtok;
+            if (!(ls >> vtok >> ref.work))
                 fatal("trace line ", lineNo,
                       ": truncated memory event");
+            const bool hex = vtok.size() > 2 && vtok[0] == '0' &&
+                             (vtok[1] == 'x' || vtok[1] == 'X');
+            char *end = nullptr;
+            ref.vaddr = std::strtoull(vtok.c_str(), &end,
+                                      hex ? 16 : 10);
+            if (end == vtok.c_str() || *end != '\0')
+                fatal("trace line ", lineNo, ": bad address '", vtok,
+                      "'");
             lo = std::min(lo, ref.vaddr);
             hi = std::max(hi, ref.vaddr + 8);
             break;

@@ -17,7 +17,10 @@
  *
  * Events of one thread appear in program order; threads may be
  * interleaved arbitrarily (the recorder interleaves them the way a
- * barrier-aware round-robin scheduler would).
+ * barrier-aware round-robin scheduler would). Addresses are decimal
+ * or 0x-prefixed hex (never octal); blank lines and lines starting
+ * with '#' are ignored, so hand-written and tool-exported traces can
+ * carry comments.
  */
 
 #ifndef VCOMA_SIM_TRACE_HH

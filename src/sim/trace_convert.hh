@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Conversion and inspection helpers behind the `vcoma_trace` CLI:
+ * the bridge between the human-readable text trace grammar
+ * (sim/trace.hh, "vcoma-trace-v1") and the packed binary format
+ * (sim/memref_pack.hh) that ReplayWorkload — and therefore any
+ * "TRACE:<path>" workload spelling — consumes. Captured or
+ * hand-written streams become first-class grid scenarios without
+ * recompiling anything.
+ */
+
+#ifndef VCOMA_SIM_TRACE_CONVERT_HH
+#define VCOMA_SIM_TRACE_CONVERT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vcoma
+{
+
+/** Header facts of one packed trace, for inspect/validate. */
+struct PackedTraceSummary
+{
+    unsigned threads = 0;
+    std::uint64_t totalEvents = 0;
+    std::uint64_t sharedBytes = 0;
+    std::string key;
+    std::string workloadName;
+    std::string parameters;
+    /** Events per thread, in tid order. */
+    std::vector<std::uint64_t> perThreadEvents;
+};
+
+/**
+ * Map and fully validate the packed trace at @p path (checksum,
+ * version, index — everything the replay path would check).
+ * @throws TraceFormatError on any defect.
+ */
+PackedTraceSummary summarizePackedTrace(const std::string &path);
+
+/**
+ * Convert a text trace (the sim/trace.hh grammar) read from @p in
+ * into a packed trace published atomically at @p outPath. @p name
+ * and @p key are stored in the header: the name becomes the replayed
+ * workload's name in stats sheets; the key is free-form provenance
+ * (external traces are not tied to an experiment cache key).
+ * fatal() on malformed text input (with the offending line number);
+ * @throws std::runtime_error when publishing fails.
+ * @return total events written.
+ */
+std::uint64_t convertTextTraceToPacked(std::istream &in,
+                                       const std::string &outPath,
+                                       const std::string &name = "TRACE",
+                                       const std::string &key =
+                                           "external");
+
+/**
+ * Write the packed trace at @p path back out as text, one thread at
+ * a time in tid order (a valid, if unexciting, interleaving of the
+ * same grammar — converting the dump again yields identical
+ * per-thread streams). @throws TraceFormatError on a bad trace.
+ */
+void dumpPackedTraceAsText(const std::string &path, std::ostream &os);
+
+} // namespace vcoma
+
+#endif // VCOMA_SIM_TRACE_CONVERT_HH

@@ -23,6 +23,9 @@ std::unique_ptr<Workload> makeBarnes(const WorkloadParams &params);
 std::unique_ptr<Workload> makeUniform(const WorkloadParams &params);
 std::unique_ptr<Workload> makeStride(const WorkloadParams &params);
 std::unique_ptr<Workload> makeHotspot(const WorkloadParams &params);
+std::unique_ptr<Workload> makeKvLookup(const WorkloadParams &params);
+std::unique_ptr<Workload> makeGraph(const WorkloadParams &params);
+std::unique_ptr<Workload> makeStreamJoin(const WorkloadParams &params);
 
 } // namespace vcoma
 

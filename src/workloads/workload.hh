@@ -118,15 +118,42 @@ struct WorkloadParams
      * 32 KB padding.
      */
     bool raytraceV2Layout = false;
+    /**
+     * Datacenter kernels (KVLOOKUP/GRAPH/STREAMJOIN): Zipf exponent
+     * of the key/hub popularity distribution. 0 is uniform, 0.99 the
+     * YCSB default, > 1 concentrates traffic on a handful of ranks.
+     */
+    double skew = 0.99;
+    /** Datacenter kernels: fraction of operations that only read. */
+    double readRatio = 0.9;
+    /**
+     * Datacenter kernels: working-set multiplier applied on top of
+     * scale (grows the table/graph without issuing more references).
+     */
+    double workingSet = 1.0;
 };
 
 /** Names accepted by makeWorkload(). */
 const std::vector<std::string> &workloadNames();
 
 /**
+ * Does @p spelling name an external packed trace ("TRACE:<path>",
+ * prefix case-insensitive)? Such workloads replay a recorded stream
+ * and never re-record.
+ */
+bool isTraceSpelling(const std::string &spelling);
+
+/**
  * Construct a workload by paper name (RADIX, FFT, FMM, OCEAN,
- * RAYTRACE, BARNES) or "UNIFORM"/"STRIDE" for the synthetic
- * generators. Case-insensitive. fatal() on unknown names.
+ * RAYTRACE, BARNES), by synthetic-generator name (UNIFORM, STRIDE,
+ * HOTSPOT), by datacenter-kernel name (KVLOOKUP, GRAPH, STREAMJOIN),
+ * or as "TRACE:<path>" to replay an external packed trace as a
+ * first-class workload. Names are case-insensitive (a TRACE path's
+ * case is preserved). The datacenter kernels accept inline knobs
+ * appended to the name — "KVLOOKUP:skew=1.2,read=0.5,ws=2" —
+ * overriding WorkloadParams::skew/readRatio/workingSet, so a knobbed
+ * spelling flows through config keys, the CLI and the service wire
+ * protocol unchanged. fatal() on unknown names or malformed knobs.
  */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        const WorkloadParams &params);

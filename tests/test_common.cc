@@ -363,3 +363,43 @@ TEST(EnvScaledFlag, NegativeValuesWarnAndUseTheDefault)
         EXPECT_EQ(envScaledFlag("VCOMA_TEST_FLAG", 4096), 0u);
     }
 }
+
+TEST(EnvScaledFlag, HexValuesParseAsHex)
+{
+    // "0x10" used to parse as 0 with strtoull base 10 stopping at the
+    // 'x', silently disabling the feature the operator asked to tune.
+    {
+        EnvGuard env("VCOMA_TEST_FLAG", "0x10");
+        EXPECT_EQ(envScaledFlag("VCOMA_TEST_FLAG", 4096), 16u);
+    }
+    {
+        EnvGuard env("VCOMA_TEST_FLAG", "0X100");
+        EXPECT_EQ(envScaledFlag("VCOMA_TEST_FLAG", 4096), 256u);
+    }
+    {
+        EnvGuard env("VCOMA_TEST_FLAG", "  0x20  ");
+        EXPECT_EQ(envScaledFlag("VCOMA_TEST_FLAG", 4096), 32u);
+    }
+}
+
+TEST(EnvScaledFlag, TrailingGarbageWarnsAndUsesTheDefault)
+{
+    // "5x" used to be silently read as 5; a typo must never be
+    // misread as a different number.
+    for (const char *v : {"5x", "16 pages", "1,000", "2.5", "0x"}) {
+        EnvGuard env("VCOMA_TEST_FLAG", v);
+        EXPECT_EQ(envScaledFlag("VCOMA_TEST_FLAG", 4096), 4096u) << v;
+    }
+}
+
+TEST(EnvScaledFlag, SurroundingWhitespaceIsTolerated)
+{
+    {
+        EnvGuard env("VCOMA_TEST_FLAG", "  250  ");
+        EXPECT_EQ(envScaledFlag("VCOMA_TEST_FLAG", 4096), 250u);
+    }
+    {
+        EnvGuard env("VCOMA_TEST_FLAG", "\t7\n");
+        EXPECT_EQ(envScaledFlag("VCOMA_TEST_FLAG", 4096), 7u);
+    }
+}

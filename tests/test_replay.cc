@@ -166,7 +166,8 @@ INSTANTIATE_TEST_SUITE_P(
     SplashKernelsAndSynthetic, ReplayIdentity,
     ::testing::Combine(::testing::Values("RADIX", "FFT", "FMM", "OCEAN",
                                          "RAYTRACE", "BARNES",
-                                         "UNIFORM"),
+                                         "UNIFORM", "KVLOOKUP", "GRAPH",
+                                         "STREAMJOIN"),
                        ::testing::Bool()),
     [](const ::testing::TestParamInfo<Case> &info) {
         std::string n = std::get<0>(info.param) +
@@ -375,6 +376,70 @@ TEST(RunnerReplay, TruncatedTraceFallsBack)
         tracePath, std::filesystem::file_size(tracePath) / 2);
     Runner runner("");
     EXPECT_EQ(statsJson(runner.run(cfg)), first);
+}
+
+TEST(RunnerReplay, TraceWorkloadSpellingMatchesTheRecordedRun)
+{
+    // An external trace promoted to a first-class workload
+    // ("TRACE:<path>") must reproduce the recorded run's sheet byte
+    // for byte: the trace header carries the original workload's
+    // name/parameters, so even the labelling is identical.
+    TempDir traces;
+    std::string first;
+    std::string tracePath;
+    {
+        EnvGuard traceDir("VCOMA_TRACE_DIR",
+                          traces.path.string().c_str());
+        EnvGuard traceMax("VCOMA_TRACE_MAX_MB", nullptr);
+        Runner runner("");
+        const ExperimentConfig cfg = tinyExperiment();
+        first = statsJson(runner.run(cfg));
+        tracePath = (traces.path / (cfg.key() + ".vctrace")).string();
+    }
+    ASSERT_TRUE(std::filesystem::exists(tracePath));
+
+    // Replay through the TRACE: spelling, with no trace dir in play.
+    ExperimentConfig replayCfg = tinyExperiment();
+    replayCfg.workload = "TRACE:" + tracePath;
+    Runner runner("");
+    EXPECT_EQ(statsJson(runner.run(replayCfg)), first)
+        << "TRACE: workload diverged from the run that recorded it";
+    EXPECT_EQ(runner.executed(), 1u);
+}
+
+TEST(RunnerReplay, TraceWorkloadsBypassTheRecordReplayDir)
+{
+    // With VCOMA_TRACE_DIR set, a TRACE: workload must neither look
+    // for a recorded trace under its own key nor re-record one —
+    // recording a replay is circular and its key could never match.
+    TempDir traces;
+    std::string tracePath;
+    std::string first;
+    {
+        EnvGuard traceDir("VCOMA_TRACE_DIR",
+                          traces.path.string().c_str());
+        EnvGuard traceMax("VCOMA_TRACE_MAX_MB", nullptr);
+        const ExperimentConfig cfg = tinyExperiment();
+        {
+            Runner runner("");
+            first = statsJson(runner.run(cfg));
+        }
+        tracePath = (traces.path / (cfg.key() + ".vctrace")).string();
+        ASSERT_TRUE(std::filesystem::exists(tracePath));
+
+        ExperimentConfig replayCfg = tinyExperiment();
+        replayCfg.workload = "TRACE:" + tracePath;
+        Runner runner("");
+        EXPECT_EQ(statsJson(runner.run(replayCfg)), first);
+    }
+    unsigned traceFiles = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(traces.path)) {
+        if (entry.path().extension() == ".vctrace")
+            ++traceFiles;
+    }
+    EXPECT_EQ(traceFiles, 1u)
+        << "the TRACE: run must not add traces to the record dir";
 }
 
 TEST(RunnerReplay, KeyMismatchedTraceIsRegenerated)

@@ -55,6 +55,50 @@ TEST(Rng, BelowCoversAllValues)
     EXPECT_EQ(seen.size(), 8u);
 }
 
+// Golden sequence: pins the exact Lemire-rejection below() outputs so
+// an accidental change to the bounded-draw algorithm (which would
+// silently invalidate every recorded trace and cached sheet) shows up
+// as a test failure, not as quietly different experiment results.
+TEST(Rng, BelowGoldenSequence)
+{
+    Rng r(123);
+    const std::uint64_t expected[] = {178ull, 341ull, 968ull, 271ull,
+                                      639ull, 6ull,   77ull,  300ull};
+    for (std::uint64_t want : expected)
+        EXPECT_EQ(r.below(1000), want);
+}
+
+// The old implementation computed next() % bound, which for bounds
+// near the top of the 64-bit range is visibly biased: with
+// bound = 3 * 2^62, values below 2^62 are hit by TWO source ranges
+// (direct and wrapped) while the upper two quarters are hit by one,
+// giving a 2:1:1 distribution across the three bins instead of
+// 1:1:1.  At 30000 draws that skew yields a chi-squared statistic of
+// roughly 3700; an unbiased draw stays in single digits.  13.82 is
+// the p = 0.001 critical value for 2 degrees of freedom, so this
+// test fails deterministically on the modulo bug and passes with
+// enormous margin on Lemire rejection.
+TEST(Rng, BelowUnbiasedAtExtremeBound)
+{
+    Rng r(2024);
+    const std::uint64_t bound = 3ull << 62;
+    const int draws = 30000;
+    long bins[3] = {0, 0, 0};
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t v = r.below(bound);
+        ASSERT_LT(v, bound);
+        ++bins[v >> 62];
+    }
+    const double expected = draws / 3.0;
+    double chi2 = 0.0;
+    for (long b : bins) {
+        const double d = b - expected;
+        chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 13.82) << "bins " << bins[0] << " " << bins[1]
+                           << " " << bins[2];
+}
+
 TEST(Rng, UniformInUnitInterval)
 {
     Rng r(13);

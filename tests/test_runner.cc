@@ -686,3 +686,142 @@ TEST(Runner, ConstructionPrunesAnOversizedCache)
     EXPECT_FALSE(std::filesystem::exists(tmp.path / "old.txt"));
     EXPECT_TRUE(std::filesystem::exists(tmp.path / "new.txt"));
 }
+
+TEST(Runner, StaleV3CacheFileIsRejected)
+{
+    // v3 entries were produced before the Rng::below() modulo-bias
+    // fix, so their sheets no longer match what a fresh run computes.
+    // The v4 magic bump must force a re-run instead of quietly mixing
+    // pre-fix and post-fix results in one sweep.
+    TempDir dir;
+    Runner first(dir.path.string());
+    first.run(tinyExperiment());
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir.path)) {
+        std::ofstream out(entry.path());
+        out << "vcoma-cache-v3\nworkload UNIFORM\nend\n";
+    }
+    Runner second(dir.path.string());
+    second.run(tinyExperiment());
+    EXPECT_EQ(second.executed(), 1u) << "pre-RNG-fix file must re-run";
+}
+
+TEST(ExperimentConfig, KeySanitizesHostileWorkloadSpellings)
+{
+    // The key doubles as a cache file name, so TRACE: paths and
+    // knobbed spellings (slashes, colons) must come out
+    // filesystem-safe without different spellings colliding.
+    ExperimentConfig trace = tinyExperiment();
+    trace.workload = "TRACE:/var/traces/web.vctrace";
+    ExperimentConfig other = trace;
+    other.workload = "TRACE:/var/traces/db.vctrace";
+    ExperimentConfig knobbed = tinyExperiment();
+    knobbed.workload = "KVLOOKUP:skew=1.2,read=0.5";
+
+    for (const auto *cfg : {&trace, &other, &knobbed}) {
+        const std::string key = cfg->key();
+        EXPECT_EQ(key.find('/'), std::string::npos) << key;
+        EXPECT_EQ(key.find(':'), std::string::npos) << key;
+    }
+    EXPECT_NE(trace.key(), other.key())
+        << "sanitisation must not collapse distinct spellings";
+
+    // Plain benchmark names keep their historical keys byte for byte
+    // (no hash suffix), so existing caches stay warm.
+    ExperimentConfig plain = tinyExperiment();
+    EXPECT_EQ(plain.key().rfind("UNIFORM-", 0), 0u) << plain.key();
+}
+
+TEST(Runner, EnvCacheTenantValidatesTheName)
+{
+    {
+        EnvGuard env("VCOMA_CACHE_TENANT", nullptr);
+        EXPECT_EQ(Runner::envCacheTenant(), "");
+    }
+    {
+        EnvGuard env("VCOMA_CACHE_TENANT", "team-a.prod_2");
+        EXPECT_EQ(Runner::envCacheTenant(), "team-a.prod_2");
+    }
+    // Anything that could escape the cache root is refused outright.
+    for (const char *bad : {"..", ".", "a/b", "../up", "x y", "a:b"}) {
+        EnvGuard env("VCOMA_CACHE_TENANT", bad);
+        EXPECT_EQ(Runner::envCacheTenant(), "") << bad;
+    }
+}
+
+TEST(Runner, CacheTenantNamespacesEntries)
+{
+    TempDir dir;
+    {
+        EnvGuard env("VCOMA_CACHE_TENANT", "alice");
+        Runner runner(dir.path.string());
+        runner.run(tinyExperiment());
+    }
+    // The entry landed under alice/, not in the shared root.
+    unsigned rootEntries = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir.path)) {
+        if (entry.is_regular_file())
+            ++rootEntries;
+    }
+    EXPECT_EQ(rootEntries, 0u);
+    ASSERT_TRUE(std::filesystem::is_directory(dir.path / "alice"));
+
+    {   // Same tenant: warm.
+        EnvGuard env("VCOMA_CACHE_TENANT", "alice");
+        Runner again(dir.path.string());
+        again.run(tinyExperiment());
+        EXPECT_EQ(again.executed(), 0u);
+    }
+    {   // Different tenant: isolated, must re-run.
+        EnvGuard env("VCOMA_CACHE_TENANT", "bob");
+        Runner stranger(dir.path.string());
+        stranger.run(tinyExperiment());
+        EXPECT_EQ(stranger.executed(), 1u);
+    }
+    {   // No tenant: the shared root is separate again.
+        EnvGuard env("VCOMA_CACHE_TENANT", nullptr);
+        Runner shared(dir.path.string());
+        shared.run(tinyExperiment());
+        EXPECT_EQ(shared.executed(), 1u);
+    }
+}
+
+TEST(Runner, TenantBudgetPrunesOnlyTheTenantDir)
+{
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path / "alice");
+    // Oversized tenant dir next to fresh shared-root entries.
+    plantCacheFile(tmp.path / "alice" / "old.txt", 700 * 1024, 2);
+    plantCacheFile(tmp.path / "alice" / "new.txt", 700 * 1024, 1);
+    plantCacheFile(tmp.path / "shared.txt", 700 * 1024, 9);
+
+    EnvGuard tenant("VCOMA_CACHE_TENANT", "alice");
+    EnvGuard budget("VCOMA_CACHE_TENANT_MAX_MB", "1");
+    EnvGuard global("VCOMA_CACHE_MAX_MB", nullptr);
+    Runner runner(tmp.path.string());
+    EXPECT_FALSE(
+        std::filesystem::exists(tmp.path / "alice" / "old.txt"));
+    EXPECT_TRUE(
+        std::filesystem::exists(tmp.path / "alice" / "new.txt"));
+    // Another tenant's (or the shared root's) files are untouchable,
+    // however old they are.
+    EXPECT_TRUE(std::filesystem::exists(tmp.path / "shared.txt"));
+}
+
+TEST(Runner, TenantBudgetFallsBackToTheGlobalBudget)
+{
+    TempDir tmp;
+    std::filesystem::create_directories(tmp.path / "alice");
+    plantCacheFile(tmp.path / "alice" / "old.txt", 700 * 1024, 2);
+    plantCacheFile(tmp.path / "alice" / "new.txt", 700 * 1024, 1);
+
+    EnvGuard tenant("VCOMA_CACHE_TENANT", "alice");
+    EnvGuard budget("VCOMA_CACHE_TENANT_MAX_MB", nullptr);
+    EnvGuard global("VCOMA_CACHE_MAX_MB", "1");
+    Runner runner(tmp.path.string());
+    EXPECT_FALSE(
+        std::filesystem::exists(tmp.path / "alice" / "old.txt"));
+    EXPECT_TRUE(
+        std::filesystem::exists(tmp.path / "alice" / "new.txt"));
+}

@@ -191,7 +191,7 @@ TEST(WorkloadNames, FactoryIsCaseInsensitiveAndRejectsUnknown)
     EXPECT_NO_THROW(makeWorkload("radix", params4()));
     EXPECT_NO_THROW(makeWorkload("Ocean", params4()));
     EXPECT_THROW(makeWorkload("NOSUCH", params4()), FatalError);
-    EXPECT_EQ(workloadNames().size(), 9u);
+    EXPECT_EQ(workloadNames().size(), 12u);
 }
 
 TEST(RadixWorkload, ReallySortsItsKeys)

@@ -31,6 +31,9 @@ EXPECTED_METRICS = (
     "refs_per_sec_replay",
     "speedup",
     "replay_speedup",
+    "kvlookup_refs_per_sec_live",
+    "kvlookup_refs_per_sec_replay",
+    "kvlookup_replay_speedup",
 )
 
 

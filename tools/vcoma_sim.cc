@@ -52,7 +52,11 @@ usage(int code)
     std::cout <<
         "usage: vcoma_sim [options]\n"
         "  --workload NAME   RADIX FFT FMM OCEAN RAYTRACE BARNES\n"
-        "                    UNIFORM STRIDE (default RADIX)\n"
+        "                    UNIFORM STRIDE HOTSPOT (default RADIX)\n"
+        "                    KVLOOKUP GRAPH STREAMJOIN, with optional\n"
+        "                    inline knobs (KVLOOKUP:skew=1.2,read=0.5)\n"
+        "                    or TRACE:FILE to replay a packed trace\n"
+        "                    (see vcoma_trace; nodes must match it)\n"
         "  --scheme S        L0 L1 L2 L3 VCOMA (default VCOMA)\n"
         "  --entries N       TLB/DLB entries; 0 = software-managed\n"
         "  --assoc N         TLB/DLB associativity; 0 = fully assoc.\n"
