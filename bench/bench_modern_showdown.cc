@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The 1998-vs-modern showdown: the paper's L0-TLB and V-COMA poles
+ * against the registry's modern schemes (VICTIMA, NMT) on the
+ * Table 2-style walk rates and the Table 4-style stall share, over
+ * both the SPLASH-2 suite and the datacenter suite.
+ */
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    const vcoma_bench::TableSink sink(argc, argv);
+    vcoma_bench::BenchReport report("modern_showdown");
+    const double scale = vcoma_bench::banner("1998 vs modern showdown");
+    vcoma::Runner runner;
+    // The whole grid up front: cache misses execute concurrently on
+    // VCOMA_JOBS workers, and the table code renders from memo hits.
+    runner.runAll(vcoma::showdownConfigs(scale));
+    runner.runAll(vcoma::showdownConfigs(
+        scale, vcoma::datacenterBenchmarks()));
+    sink(vcoma::showdownMissRates(runner, scale));
+    sink(vcoma::showdownStallShare(runner, scale));
+    sink(vcoma::showdownMissRates(runner, scale,
+                                  vcoma::datacenterBenchmarks(),
+                                  "datacenter"));
+    sink(vcoma::showdownStallShare(runner, scale,
+                                   vcoma::datacenterBenchmarks(),
+                                   "datacenter"));
+    vcoma_bench::footer(runner);
+    report.finish(&runner);
+    return 0;
+}

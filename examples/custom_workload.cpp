@@ -99,8 +99,7 @@ main()
     Table t("custom pipeline under the five schemes");
     t.header({"scheme", "exec time", "remote reads", "upgrades",
               "TLB/DLB misses"});
-    for (Scheme scheme : {Scheme::L0, Scheme::L1, Scheme::L2,
-                          Scheme::L3, Scheme::VCOMA}) {
+    for (Scheme scheme : legacySchemes()) {
         MachineConfig cfg = baselineConfig(scheme, /*entries=*/8);
         Machine machine(cfg);
         PipelineWorkload workload(cfg.numNodes, /*rounds=*/16,

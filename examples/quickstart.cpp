@@ -15,6 +15,7 @@
 #include <string>
 
 #include "sim/machine.hh"
+#include "translation/scheme.hh"
 #include "translation/system_builder.hh"
 #include "workloads/workload.hh"
 
@@ -22,17 +23,6 @@ using namespace vcoma;
 
 namespace
 {
-
-Scheme
-parseScheme(const std::string &s)
-{
-    if (s == "L0") return Scheme::L0;
-    if (s == "L1") return Scheme::L1;
-    if (s == "L2") return Scheme::L2;
-    if (s == "L3") return Scheme::L3;
-    if (s == "VCOMA" || s == "V-COMA") return Scheme::VCOMA;
-    fatal("unknown scheme '", s, "'");
-}
 
 } // namespace
 

@@ -31,9 +31,8 @@ main(int argc, char **argv)
     const std::string workloadName = argc > 1 ? argv[1] : "FFT";
     const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
 
-    const std::vector<Scheme> schemes{Scheme::L0, Scheme::L1,
-                                      Scheme::L2, Scheme::L3,
-                                      Scheme::VCOMA};
+    // The paper's five placements, straight from the registry.
+    const std::vector<Scheme> &schemes = legacySchemes();
     std::vector<RunStats> runs;
 
     for (Scheme scheme : schemes) {
@@ -53,8 +52,10 @@ main(int argc, char **argv)
     // The Figure 8 series: misses per node vs TLB/DLB size.
     Table misses(workloadName +
                  ": translation misses per node vs size");
-    misses.header({"size", "L0-TLB", "L1-TLB", "L2-TLB", "L3-TLB",
-                   "V-COMA"});
+    std::vector<std::string> head{"size"};
+    for (Scheme scheme : schemes)
+        head.push_back(schemeName(scheme));
+    misses.header(head);
     for (unsigned size : shadowSizes()) {
         std::vector<std::string> row{std::to_string(size)};
         for (std::size_t i = 0; i < schemes.size(); ++i) {

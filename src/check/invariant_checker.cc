@@ -280,6 +280,10 @@ InvariantChecker::checkTranslationResidency(
         };
         if (node.tlb)
             check(*node.tlb, /*isDlb=*/false);
+        // VICTIMA's spill structure holds real translations too:
+        // purgePage must shoot them down like any TLB entry.
+        if (node.tlbSpill)
+            check(*node.tlbSpill, /*isDlb=*/false);
         if (node.dlb)
             check(node.dlb->tlb(), /*isDlb=*/true);
     }

@@ -31,13 +31,22 @@ Node::Node(NodeId nodeId, const MachineConfig &cfg,
     if (traits.perNodeTlb) {
         tlb = std::make_unique<Tlb>(tc.entries, tc.assoc,
                                     cfg.seed + 77 * (nodeId + 1));
-    } else {
+        if (traits.slcTlbSpill) {
+            // One spilled translation entry per SLC frame, at the
+            // SLC's associativity: the Victima model of PTEs living
+            // in otherwise-underused SLC ways.
+            tlbSpill = std::make_unique<Tlb>(
+                static_cast<unsigned>(cfg.slc.numBlocks()), cfg.slc.assoc,
+                cfg.seed + 55 * (nodeId + 1));
+        }
+    } else if (traits.hasDlb) {
         // A home's DLB only sees pages whose low vpn bits equal the
         // home id: index with the bits above them (Figure 6).
         dlb = std::make_unique<Dlb>(tc.entries, tc.assoc,
                                     cfg.seed + 99 * (nodeId + 1),
                                     exactLog2(cfg.numNodes));
     }
+    // NMT: neither — translation is computed at the home node.
 }
 
 } // namespace vcoma

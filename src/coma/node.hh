@@ -36,10 +36,16 @@ class Node
     Resource pe;
     /** Attraction-memory DRAM port occupancy. */
     Resource amPort;
-    /** Configured private TLB (L0..L3 schemes). */
+    /** Configured private TLB (per-node-TLB schemes). */
     std::unique_ptr<Tlb> tlb;
-    /** Configured home-side DLB (V-COMA). */
+    /** Configured home-side DLB (V-COMA). NMT configures neither. */
     std::unique_ptr<Dlb> dlb;
+    /**
+     * VICTIMA's spill structure: one translation entry per SLC frame,
+     * SLC-associative. TLB victims land here; TLB misses probe it at
+     * SLC-hit cost before paying the walk.
+     */
+    std::unique_ptr<Tlb> tlbSpill;
     /**
      * Shadow observer bank at this node's translation point (fed at
      * the scheme's TLB point for L0..L3, at the home's directory

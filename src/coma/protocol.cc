@@ -27,14 +27,16 @@ CoherenceEngine::CoherenceEngine(const MachineConfig &cfg,
     // The fast filter is a pure simulator optimisation; results are
     // identical with it on or off. It is structurally excluded where
     // the slow path has per-reference side effects the filter cannot
-    // replay: L0 charges its TLB before the FLC on every reference,
-    // L1 additionally on every store, and checkLevel >= 2 wants the
-    // version self-check on every cache hit.
+    // replay: schemes charging a TLB before the FLC on every
+    // reference (L0, VICTIMA) declare fastReadFilter = false, L1
+    // additionally excludes stores (TLB charge on FLC write-through),
+    // and checkLevel >= 2 wants the version self-check on every
+    // cache hit.
     const char *fp = std::getenv("VCOMA_FASTPATH");
     fastConfigured_ = fp ? envTruthy("VCOMA_FASTPATH") : cfg_.fastPath;
-    fastReads_ = fastConfigured_ && traits_.scheme != Scheme::L0 &&
+    fastReads_ = fastConfigured_ && traits_.fastReadFilter &&
                  cfg_.checkLevel < 2;
-    fastWrites_ = fastReads_ && traits_.scheme != Scheme::L1;
+    fastWrites_ = fastReads_ && traits_.fastWriteFilter;
     if (fastReads_) {
         fast_.resize(static_cast<std::size_t>(cfg_.numNodes) *
                      fastBlocksPerCpu);
@@ -93,11 +95,11 @@ CoherenceEngine::pageFor(VAddr va, RefType type)
             unsigned(page.protection), ")"));
     }
     page.referenced = true;
-    // In the physical schemes the modify bit is maintained by the
-    // per-node TLB refill path; in V-COMA it is set at the home when
-    // exclusive ownership is first requested (Section 4.3), which the
-    // DLB handles in chargeDlb().
-    if (type == RefType::Write && traits_.scheme != Scheme::VCOMA)
+    // Without a home-side DLB the modify bit is maintained by the
+    // node-side translation/refill path; in V-COMA it is set at the
+    // home when exclusive ownership is first requested (Section 4.3),
+    // which the DLB handles in chargeDlb().
+    if (type == RefType::Write && !traits_.hasDlb)
         page.modified = true;
     return page;
 }
@@ -153,9 +155,35 @@ CoherenceEngine::chargeTlb(Node &node, PageNum vpn, StreamClass cls, Tick t)
 {
     if (!node.tlb)
         return 0;
-    const bool hit = node.tlb->access(vpn, cls);
+    PageNum evicted = Tlb::noVpn;
+    const bool hit =
+        node.tlb->access(vpn, cls, node.tlbSpill ? &evicted : nullptr);
+    if (node.tlbSpill && evicted != Tlb::noVpn) {
+        // Victima: the displaced entry spills into an SLC frame
+        // instead of being discarded.
+        node.tlbSpill->access(evicted, StreamClass::Writeback);
+        ++tlbSpillFills;
+    }
     if (hit)
         return 0;
+    if (node.tlbSpill) {
+        // TLB miss: probe the spilled entries in the SLC (one SLC
+        // access) before paying the walk; a hit migrates the entry
+        // back into the TLB (the access() above already filled it).
+        ++tlbSpillProbes;
+        const Cycles probe = cfg_.timedTranslation ? cfg_.timing.slcHit : 0;
+        if (node.tlbSpill->contains(vpn)) {
+            node.tlbSpill->invalidate(vpn);
+            ++tlbSpillHits;
+            return probe;
+        }
+        if (tracer_) {
+            tracer_->instant("tlbFill", EventTracer::TrackTranslation,
+                             node.id, t, vpn << layout_.pageBits());
+        }
+        return probe +
+               (cfg_.timedTranslation ? cfg_.timing.translationMiss : 0);
+    }
     if (tracer_) {
         tracer_->instant("tlbFill", EventTracer::TrackTranslation, node.id,
                          t, vpn << layout_.pageBits());
@@ -258,7 +286,7 @@ CoherenceEngine::dropSharedVictim(Node &node, VAddr blockVa, Tick t)
         network_.send(node.id, page->home, MsgSize::Request, t);
     Node &home = *nodes_[page->home];
     home.pe.acquire(arrive, cfg_.timing.peOccupancy);
-    if (traits_.scheme == Scheme::VCOMA) {
+    if (traits_.homeTranslation) {
         home.shadow.access(vpn, StreamClass::Writeback);
         chargeDlb(home, *page, node.id, false, StreamClass::Writeback,
                   arrive);
@@ -291,9 +319,10 @@ CoherenceEngine::injectBlock(Node &from, VAddr blockVa, AmState st,
     e.dropCopy(from.id);
     e.owner = invalidNode;
 
-    // L3-TLB: the outbound injection is a local-node departure and
-    // needs a virtual-to-physical translation (write-back stream).
-    if (traits_.scheme == Scheme::L3) {
+    // Node-exit TLBs (L3): the outbound injection is a local-node
+    // departure and needs a virtual-to-physical translation
+    // (write-back stream).
+    if (traits_.tlbPoint == TlbPoint::NodeExit) {
         from.shadow.access(vpn, StreamClass::Writeback);
         if (from.tlb)
             from.tlb->access(vpn, StreamClass::Writeback);
@@ -305,7 +334,7 @@ CoherenceEngine::injectBlock(Node &from, VAddr blockVa, AmState st,
     Node &home = *nodes_[homeId];
     const Tick s = home.pe.acquire(t, cfg_.timing.peOccupancy);
     t = s + cfg_.timing.directoryLookup;
-    if (traits_.scheme == Scheme::VCOMA) {
+    if (traits_.homeTranslation) {
         home.shadow.access(vpn, StreamClass::Writeback);
         t += chargeDlb(home, *page, from.id, false, StreamClass::Writeback,
                        s);
@@ -441,7 +470,7 @@ CoherenceEngine::remoteRead(Node &n, const BlockCtx &ctx, Tick t,
     const Tick s = home.pe.acquire(t, cfg_.timing.peOccupancy);
     t = s + cfg_.timing.directoryLookup;
 
-    if (traits_.scheme == Scheme::VCOMA) {
+    if (traits_.homeTranslation) {
         home.shadow.access(page.vpn, StreamClass::Demand);
         const Cycles p =
             chargeDlb(home, page, n.id, false, StreamClass::Demand, s);
@@ -489,7 +518,7 @@ CoherenceEngine::remoteWrite(Node &n, const BlockCtx &ctx, bool hasData,
     const Tick s = home.pe.acquire(t, cfg_.timing.peOccupancy);
     t = s + cfg_.timing.directoryLookup;
 
-    if (traits_.scheme == Scheme::VCOMA) {
+    if (traits_.homeTranslation) {
         home.shadow.access(page.vpn, StreamClass::Demand);
         const Cycles p =
             chargeDlb(home, page, n.id, true, StreamClass::Demand, s);
@@ -562,7 +591,7 @@ CoherenceEngine::access(CpuId cpu, RefType type, VAddr va, Tick now)
     const AccessResult res = accessImpl(cpu, type, va, now);
     // Filtering effect: a reference served by the local hierarchy
     // never generated a home-directory (DLB) lookup.
-    if (traits_.scheme == Scheme::VCOMA && res.servedBy != ServedBy::Remote)
+    if (traits_.hasDlb && res.servedBy != ServedBy::Remote)
         ++dlbFilteredRefs;
     if (transitionHook_ && res.servedBy == ServedBy::Remote)
         transitionHook_();
@@ -631,14 +660,14 @@ CoherenceEngine::fastWrite(CpuId cpu, VAddr va, Tick now, FastBlock &ent,
     line->version = e.version;
     node.am.touchLine(*line);
     page.referenced = true;
-    if (traits_.scheme != Scheme::VCOMA)
+    if (!traits_.hasDlb)
         page.modified = true;
     out.done = now + tm.slcHit;
     out.local = tm.slcHit;
     out.remote = 0;
     out.xlat = 0;
     out.servedBy = ServedBy::Slc;
-    if (traits_.scheme == Scheme::VCOMA)
+    if (traits_.hasDlb)
         ++dlbFilteredRefs;
     return true;
 }
@@ -699,6 +728,13 @@ CoherenceEngine::addStats(StatGroup &g) const
     g.addCounter("tlbShootdowns", tlbShootdowns);
     g.addCounter("protectionFaults", protectionFaults);
     g.addCounter("dlbFilteredRefs", dlbFilteredRefs);
+    // Spill counters only exist under slcTlbSpill schemes; keep the
+    // legacy stat dump unchanged by registering them conditionally.
+    if (traits_.slcTlbSpill) {
+        g.addCounter("tlbSpillProbes", tlbSpillProbes);
+        g.addCounter("tlbSpillHits", tlbSpillHits);
+        g.addCounter("tlbSpillFills", tlbSpillFills);
+    }
     g.addDistribution("remoteReadLatency", remoteReadLatency);
     g.addDistribution("remoteWriteLatency", remoteWriteLatency);
     g.addDistribution("dlbFillLatency", dlbFillLatency);
@@ -720,8 +756,8 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
     AccessResult res;
     Tick t = now;
 
-    // ----- L0: translation before the first-level cache -----
-    if (traits_.scheme == Scheme::L0) {
+    // ----- PreFlc (L0, VICTIMA): translation before the FLC -----
+    if (traits_.tlbPoint == TlbPoint::PreFlc) {
         node.shadow.access(vpn, StreamClass::Demand);
         const Cycles p = chargeTlb(node, vpn, StreamClass::Demand, t);
         res.xlat += p;
@@ -741,7 +777,7 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
     }
 
     // ----- FLC -> SLC transit: read miss fill or write-through store
-    if (traits_.scheme == Scheme::L1) {
+    if (traits_.tlbPoint == TlbPoint::FlcToSlc) {
         node.shadow.access(vpn, StreamClass::Demand);
         const Cycles p = chargeTlb(node, vpn, StreamClass::Demand, t);
         res.xlat += p;
@@ -773,7 +809,7 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
         (type == RefType::Read && !slcRes.hit) ||
         (type == RefType::Write &&
          (!slcRes.hit || st != AmState::Exclusive));
-    if (traits_.scheme == Scheme::L2 && crossesToAm) {
+    if (traits_.tlbPoint == TlbPoint::SlcToAm && crossesToAm) {
         node.shadow.access(vpn, StreamClass::Demand);
         const Cycles p = chargeTlb(node, vpn, StreamClass::Demand, t);
         res.xlat += p;
@@ -784,7 +820,7 @@ CoherenceEngine::accessImpl(CpuId cpu, RefType type, VAddr va, Tick now)
     const bool crossesNode =
         (type == RefType::Read && !line) ||
         (type == RefType::Write && st != AmState::Exclusive);
-    if (traits_.scheme == Scheme::L3 && crossesNode) {
+    if (traits_.tlbPoint == TlbPoint::NodeExit && crossesNode) {
         node.shadow.access(vpn, StreamClass::Demand);
         const Cycles p = chargeTlb(node, vpn, StreamClass::Demand, t);
         res.xlat += p;
@@ -882,10 +918,10 @@ void
 CoherenceEngine::handleSlcWriteback(Node &node, VAddr victimVa, Tick t)
 {
     const PageNum vpn = layout_.vpn(victimVa);
-    // L2-TLB: the write-back leaves the (virtual) SLC toward the
-    // physical AM and needs a translation, unless the design keeps
-    // physical pointers in the SLC (the no_wback variant).
-    if (traits_.scheme == Scheme::L2) {
+    // SlcToAm TLBs (L2): the write-back leaves the (virtual) SLC
+    // toward the physical AM and needs a translation, unless the
+    // design keeps physical pointers in the SLC (no_wback variant).
+    if (traits_.tlbPoint == TlbPoint::SlcToAm) {
         node.shadow.access(vpn, StreamClass::Writeback);
         if (node.tlb && cfg_.translation.writebacksAccessTlb)
             node.tlb->access(vpn, StreamClass::Writeback);
@@ -988,6 +1024,8 @@ CoherenceEngine::purgePage(PageNum vpn)
     // home's DLB holds a mapping.
     for (auto &nodePtr : nodes_) {
         if (nodePtr->tlb && nodePtr->tlb->invalidate(vpn))
+            ++tlbShootdowns;
+        if (nodePtr->tlbSpill && nodePtr->tlbSpill->invalidate(vpn))
             ++tlbShootdowns;
         if (nodePtr->dlb && nodePtr->dlb->invalidate(vpn))
             ++tlbShootdowns;

@@ -138,7 +138,7 @@ class CoherenceEngine
         out.remote = 0;
         out.xlat = 0;
         out.servedBy = ServedBy::Flc;
-        if (traits_.scheme == Scheme::VCOMA)
+        if (traits_.hasDlb)
             ++dlbFilteredRefs;
         return true;
     }
@@ -232,6 +232,14 @@ class CoherenceEngine
      * it partitions the processor references.
      */
     Counter dlbFilteredRefs;
+    /**
+     * VICTIMA's SLC spill structure (only non-zero under schemes with
+     * slcTlbSpill): probes on TLB miss, hits that skip the walk, and
+     * victim entries spilled into SLC frames.
+     */
+    Counter tlbSpillProbes;
+    Counter tlbSpillHits;
+    Counter tlbSpillFills;
     /** @} */
 
     /** @{ @name Latency distributions (cycles) */
@@ -589,7 +597,7 @@ class CoherenceEngine
         const std::uint64_t n = static_cast<std::uint64_t>(p - cur);
         if (n == 0)
             return 0;
-        if (traits_.scheme == Scheme::VCOMA)
+        if (traits_.hasDlb)
             dlbFilteredRefs += nReads;
         reads += nReads;
         writes += nWrites;

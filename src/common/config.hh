@@ -95,33 +95,30 @@ struct TimingConfig
 /** Where the dynamic address translation mechanism is placed. */
 enum class Scheme : std::uint8_t
 {
-    L0,     ///< classic TLB before the FLC; all levels physical
-    L1,     ///< TLB between virtual FLC and physical SLC
-    L2,     ///< TLB between virtual SLC and physical attraction memory
-    L3,     ///< TLB on local-node (attraction memory) miss
-    VCOMA,  ///< no TLB; DLB at the home node inside the protocol
+    L0,       ///< classic TLB before the FLC; all levels physical
+    L1,       ///< TLB between virtual FLC and physical SLC
+    L2,       ///< TLB between virtual SLC and physical attraction memory
+    L3,       ///< TLB on local-node (attraction memory) miss
+    VCOMA,    ///< no TLB; DLB at the home node inside the protocol
+    VICTIMA,  ///< L0 TLB that spills victim entries into SLC frames
+    NMT,      ///< near-memory translation computed at the home node
 };
 
-/** Human-readable scheme name as used in the paper's tables. */
-inline const char *
-schemeName(Scheme s)
-{
-    switch (s) {
-      case Scheme::L0: return "L0-TLB";
-      case Scheme::L1: return "L1-TLB";
-      case Scheme::L2: return "L2-TLB";
-      case Scheme::L3: return "L3-TLB";
-      case Scheme::VCOMA: return "V-COMA";
-    }
-    return "?";
-}
+/**
+ * Human-readable scheme name as used in the paper's tables and in
+ * Runner cache keys. Defined by the scheme registry
+ * (translation/scheme.cc); fatal() on a value outside the registry so
+ * a corrupted or future-version config can never collide cache
+ * entries or render "?" columns.
+ */
+const char *schemeName(Scheme s);
 
-/** True iff the scheme indexes the attraction memory virtually. */
-inline bool
-schemeUsesVirtualAm(Scheme s)
-{
-    return s == Scheme::L3 || s == Scheme::VCOMA;
-}
+/**
+ * True iff the scheme indexes the attraction memory virtually.
+ * Answered by the registry's SchemeTraits (the single source of
+ * truth); kept as a convenience wrapper for config-level callers.
+ */
+bool schemeUsesVirtualAm(Scheme s);
 
 /** Configuration of the (single) configured TLB or DLB in timed runs. */
 struct TranslationConfig

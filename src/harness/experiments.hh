@@ -76,6 +76,33 @@ std::vector<ExperimentConfig> xlatCostConfigs(double scale);
 /** Layout-pressure ablation (UNIFORM vs HOTSPOT). */
 std::vector<ExperimentConfig> layoutPressureConfigs(double scale);
 
+/**
+ * The 1998-vs-modern showdown grid: every showdown scheme (L0-TLB and
+ * V-COMA as the 1998 poles, plus every registry scheme marked modern)
+ * over the benchmark list, untimed for the miss study and timed at
+ * 8 entries for the stall-share table.
+ */
+std::vector<ExperimentConfig>
+showdownConfigs(double scale,
+                const std::vector<std::string> &benchmarks = {});
+
+/**
+ * Showdown table A (Table 2-style): page-table walks per 1k processor
+ * references under each scheme's configured translation structure,
+ * plus VICTIMA's spill hit rate. NMT is structurally zero.
+ */
+Table showdownMissRates(Runner &runner, double scale,
+                        const std::vector<std::string> &benchmarks = {},
+                        const std::string &suite = "");
+
+/**
+ * Showdown table B (Table 4-style): address-translation time as a
+ * share of total stall time with 8-entry structures.
+ */
+Table showdownStallShare(Runner &runner, double scale,
+                         const std::vector<std::string> &benchmarks = {},
+                         const std::string &suite = "");
+
 /** Table 1: benchmark parameters and shared-memory footprints. */
 Table table1Benchmarks(double scale,
                        const std::vector<std::string> &benchmarks = {},

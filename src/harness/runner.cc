@@ -23,6 +23,7 @@
 #include "common/thread_pool.hh"
 #include "sim/machine.hh"
 #include "sim/memref_pack.hh"
+#include "translation/scheme.hh"
 #include "translation/system_builder.hh"
 #include "workloads/replay.hh"
 #include "workloads/workload.hh"
@@ -654,6 +655,12 @@ Runner::load(const std::string &path, RunStats &stats) const
         } else if (tag == "scheme") {
             int v;
             ls >> v;
+            // A value outside the registry (corrupt file, or a sheet
+            // written by a future version with more schemes) must
+            // never masquerade as a valid scheme: reject the whole
+            // file so the runner re-simulates instead.
+            if (v < 0 || !isKnownScheme(static_cast<unsigned>(v)))
+                return false;
             stats.scheme = static_cast<Scheme>(v);
         } else if (tag == "numNodes") {
             ls >> stats.numNodes;
@@ -694,6 +701,9 @@ Runner::load(const std::string &path, RunStats &stats) const
         } else if (tag == "dlb") {
             ls >> stats.dlbFilteredRefs >> stats.dlbSharedHits >>
                 stats.dlbPrefetchedFills;
+        } else if (tag == "spill") {
+            ls >> stats.tlbSpillProbes >> stats.tlbSpillHits >>
+                stats.tlbSpillFills;
         } else if (tag == "dlbreq") {
             ls >> stats.dlbRequestersPerEntry.count >>
                 stats.dlbRequestersPerEntry.sum >>
@@ -797,6 +807,14 @@ Runner::storeOnce(const std::string &path, const RunStats &stats,
     // here requires a magic bump.
     out << "dlb " << stats.dlbFilteredRefs << " " << stats.dlbSharedHits
         << " " << stats.dlbPrefetchedFills << "\n";
+    // Spill counters only exist under slcTlbSpill schemes (VICTIMA):
+    // emitting the tag conditionally keeps every legacy sheet
+    // byte-identical, and the loader defaults the fields to zero.
+    if (stats.tlbSpillProbes || stats.tlbSpillHits ||
+        stats.tlbSpillFills) {
+        out << "spill " << stats.tlbSpillProbes << " "
+            << stats.tlbSpillHits << " " << stats.tlbSpillFills << "\n";
+    }
     const auto putSummary = [&out](const char *tag, const char *which,
                                    const DistSummary &d) {
         out << tag;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/json.hh"
+#include "translation/scheme.hh"
 
 namespace vcoma
 {
@@ -24,17 +25,13 @@ wireErrorReply(const std::string &message, bool shed)
 Scheme
 parseSchemeToken(const std::string &token)
 {
-    if (token == "L0" || token == "L0-TLB")
-        return Scheme::L0;
-    if (token == "L1" || token == "L1-TLB")
-        return Scheme::L1;
-    if (token == "L2" || token == "L2-TLB")
-        return Scheme::L2;
-    if (token == "L3" || token == "L3-TLB")
-        return Scheme::L3;
-    if (token == "VCOMA" || token == "V-COMA")
-        return Scheme::VCOMA;
-    throw WireError("unknown scheme '" + token + "'");
+    // The registry owns the accepted spellings; the wire layer only
+    // adds its error type (a bad remote config must never fatal() the
+    // daemon).
+    Scheme s;
+    if (!tryParseScheme(token, s))
+        throw WireError("unknown scheme '" + token + "'");
+    return s;
 }
 
 void

@@ -535,6 +535,8 @@ Machine::dumpStats(std::ostream &os) const
         group.addCounter("invalsReceived", n.invalsReceived);
         if (n.tlb)
             n.tlb->addStats(group, "tlb.");
+        if (n.tlbSpill)
+            n.tlbSpill->addStats(group, "tlbSpill.");
         if (n.dlb)
             n.dlb->addStats(group, "dlb.");
         nodeGroups.push_back(std::move(group));
@@ -628,6 +630,9 @@ Machine::collect(Workload &workload, std::vector<CpuStats> cpus,
     stats.blockMessages = network_.blockMessages.value();
 
     stats.dlbFilteredRefs = engine_.dlbFilteredRefs.value();
+    stats.tlbSpillProbes = engine_.tlbSpillProbes.value();
+    stats.tlbSpillHits = engine_.tlbSpillHits.value();
+    stats.tlbSpillFills = engine_.tlbSpillFills.value();
     stats.remoteReadLatency = DistSummary::of(engine_.remoteReadLatency);
     stats.remoteWriteLatency = DistSummary::of(engine_.remoteWriteLatency);
     stats.dlbFillLatency = DistSummary::of(engine_.dlbFillLatency);

@@ -134,6 +134,19 @@ struct RunStats
     DistSummary dlbRequestersPerEntry;
     /** @} */
 
+    /**
+     * @{ @name VICTIMA spill evidence
+     *
+     * Under slcTlbSpill schemes, TLB victims spill into SLC frames
+     * and each TLB miss probes them before paying the walk: probes,
+     * probe hits (walks avoided), and victims spilled. Zero for every
+     * other scheme.
+     */
+    std::uint64_t tlbSpillProbes = 0;
+    std::uint64_t tlbSpillHits = 0;
+    std::uint64_t tlbSpillFills = 0;
+    /** @} */
+
     /** @{ @name Latency distributions (cycles) */
     DistSummary remoteReadLatency;   ///< network round-trip, remote reads
     DistSummary remoteWriteLatency;  ///< round-trip, remote writes/upgrades

@@ -149,6 +149,14 @@ writeRunStatsJson(std::ostream &os, const RunStats &s)
     putDist(os, s.dlbRequestersPerEntry);
     os << "}";
 
+    // Only slcTlbSpill schemes (VICTIMA) produce spill traffic; the
+    // key is omitted otherwise so legacy exports are unchanged.
+    if (s.tlbSpillProbes || s.tlbSpillHits || s.tlbSpillFills) {
+        os << ",\"tlbSpill\":{\"probes\":" << s.tlbSpillProbes
+           << ",\"hits\":" << s.tlbSpillHits
+           << ",\"fills\":" << s.tlbSpillFills << "}";
+    }
+
     os << ",\"latency\":{\"remoteRead\":";
     putDist(os, s.remoteReadLatency);
     os << ",\"remoteWrite\":";

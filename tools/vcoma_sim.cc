@@ -20,6 +20,7 @@
 
 #include "sim/machine.hh"
 #include "sim/trace.hh"
+#include "translation/scheme.hh"
 #include "translation/system_builder.hh"
 #include "workloads/workload.hh"
 
@@ -46,6 +47,25 @@ struct Options
     std::string traceEventsPath;
 };
 
+/** Accepted --scheme spellings, straight from the registry. */
+std::string
+schemeTokenList()
+{
+    std::string out;
+    for (const auto &d : schemeRegistry()) {
+        // The shortest accepted spelling per scheme ("L0" rather
+        // than "L0-TLB"); the canonical name wins ties.
+        std::string token = d.name;
+        for (const std::string &alias : d.aliases)
+            if (alias.size() < token.size())
+                token = alias;
+        if (!out.empty())
+            out += " ";
+        out += token;
+    }
+    return out;
+}
+
 [[noreturn]] void
 usage(int code)
 {
@@ -57,7 +77,8 @@ usage(int code)
         "                    inline knobs (KVLOOKUP:skew=1.2,read=0.5)\n"
         "                    or TRACE:FILE to replay a packed trace\n"
         "                    (see vcoma_trace; nodes must match it)\n"
-        "  --scheme S        L0 L1 L2 L3 VCOMA (default VCOMA)\n"
+        "  --scheme S        translation scheme (default VCOMA); one\n"
+        "                    of: " + schemeTokenList() + "\n"
         "  --entries N       TLB/DLB entries; 0 = software-managed\n"
         "  --assoc N         TLB/DLB associativity; 0 = fully assoc.\n"
         "  --nodes N         processing nodes (power of two, <= 64)\n"
@@ -79,13 +100,15 @@ usage(int code)
 Scheme
 parseScheme(const std::string &s)
 {
-    if (s == "L0") return Scheme::L0;
-    if (s == "L1") return Scheme::L1;
-    if (s == "L2") return Scheme::L2;
-    if (s == "L3") return Scheme::L3;
-    if (s == "VCOMA" || s == "V-COMA") return Scheme::VCOMA;
-    std::cerr << "unknown scheme '" << s << "'\n";
-    usage(2);
+    // Strict registry parse: an unknown token is fatal (never a
+    // silent default), with the accepted spellings spelled out.
+    Scheme out;
+    if (!vcoma::tryParseScheme(s, out)) {
+        std::cerr << "unknown scheme '" << s << "'; accepted: "
+                  << schemeTokenList() << "\n";
+        usage(2);
+    }
+    return out;
 }
 
 Options
