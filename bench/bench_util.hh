@@ -29,11 +29,28 @@ namespace vcoma_bench
 {
 
 /**
+ * Build provenance stamped into every report (set by the build
+ * system from `git describe --always --dirty`; "unknown" outside a
+ * git checkout). The dashboard keys its staleness rule on schema +
+ * this stamp, so a report from an old build can be flagged instead
+ * of misplotted.
+ */
+#ifndef VCOMA_GIT_DESCRIBE
+#define VCOMA_GIT_DESCRIBE "unknown"
+#endif
+
+/**
  * Machine-readable run report: every bench binary writes
  * BENCH_<name>.json next to its working directory so CI can collect
  * wall time and executed-simulation counts without scraping the
  * (human-oriented) table output. Writing a side file never perturbs
  * stdout, so the byte-identity guarantee on table output holds.
+ *
+ * Report format versions: schema 1 had no provenance; schema 2 adds
+ * the format version discipline itself plus the `git` build stamp.
+ * Bump the schema whenever a field changes meaning, so downstream
+ * consumers (tools/vcoma_sweep's dashboard, CI validators) can
+ * refuse stale files.
  */
 class BenchReport
 {
@@ -67,7 +84,9 @@ class BenchReport
         if (!out)
             return;  // reports are best-effort; never fail the bench
         out << "{\"bench\":\"" << vcoma::jsonEscape(name_)
-            << "\",\"schema\":1,\"wall_ms\":" << wallMs
+            << "\",\"schema\":2,\"git\":\""
+            << vcoma::jsonEscape(VCOMA_GIT_DESCRIBE)
+            << "\",\"wall_ms\":" << wallMs
             << ",\"executed\":" << (runner ? runner->executed() : 0)
             << ",\"failures\":"
             << (runner ? runner->failures().size() : 0);

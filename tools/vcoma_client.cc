@@ -24,6 +24,16 @@
  * runResilient() — bounded retries, exponential backoff with jitter,
  * reconnect on a lost connection — so the sweep rides out worker
  * deaths and router failovers and still produces the same bytes.
+ *
+ * `sweep`/`direct --jsonl FILE` additionally append one stats record
+ * per config — the exact writeRunStatsJson() bytes, i.e. the same
+ * schema $VCOMA_STATS_JSON produces — in submission order, so
+ * machine consumers (tools/vcoma_sweep) read one stable JSONL
+ * interface instead of scraping sheet files. A config that fails
+ * appends a {"schema":1,"key":...,"error":...} placeholder line so
+ * the file always lines up 1:1 with the submitted configs. The file
+ * is appended to (like $VCOMA_STATS_JSON), never truncated; remove
+ * it first for a fresh sweep.
  */
 
 #include <cstdlib>
@@ -34,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "service/client.hh"
 #include "service/wire.hh"
 #include "sim/run_stats_json.hh"
@@ -62,6 +73,10 @@ usage(int code)
         "sweep options (sweep/direct): config options, plus\n"
         "  --workloads A,B,...        instead of --workload\n"
         "  --schemes S1,S2,...        instead of --scheme\n"
+        "  --jsonl FILE               append one stats record per\n"
+        "                             config (VCOMA_STATS_JSON schema,\n"
+        "                             submission order); may replace\n"
+        "                             --out-dir\n"
         "  --farm                     submit configs one at a time with\n"
         "                             retry/backoff (rides out worker\n"
         "                             deaths behind a farm router)\n"
@@ -100,6 +115,7 @@ struct Options
     std::string command;
     std::string outFile;
     std::string outDir;
+    std::string jsonlFile;
     std::vector<std::string> workloads{"RADIX"};
     std::vector<std::string> schemes{"VCOMA"};
     ExperimentConfig base;
@@ -138,6 +154,8 @@ parse(int argc, char **argv)
             opt.outFile = value(i);
         else if (arg == "--out-dir")
             opt.outDir = value(i);
+        else if (arg == "--jsonl")
+            opt.jsonlFile = value(i);
         else if (arg == "--workload")
             opt.workloads = {value(i)};
         else if (arg == "--workloads")
@@ -236,6 +254,54 @@ writeSheet(const std::string &path, const std::string &statsJson)
     out << statsJson << "\n";
 }
 
+/**
+ * Machine-readable sweep output: one JSONL line per submitted config,
+ * in submission order, appended (never truncated) so several client
+ * invocations can share one file. Successful configs append the
+ * exact stats-sheet bytes; failures append a placeholder line so the
+ * file always aligns 1:1 with the configs.
+ */
+class JsonlSink
+{
+  public:
+    explicit JsonlSink(const std::string &path)
+    {
+        if (path.empty())
+            return;
+        out_.open(path, std::ios::app);
+        if (!out_) {
+            std::cerr << "cannot append to '" << path << "'\n";
+            std::exit(1);
+        }
+    }
+
+    void
+    record(const std::string &statsJson)
+    {
+        if (out_.is_open())
+            out_ << statsJson << "\n";
+    }
+
+    void
+    failure(const std::string &key, const std::string &error)
+    {
+        if (out_.is_open())
+            out_ << "{\"schema\":1,\"key\":\"" << jsonEscape(key)
+                 << "\",\"error\":\"" << jsonEscape(error) << "\"}\n";
+    }
+
+  private:
+    std::ofstream out_;
+};
+
+/** Per-config provenance line (stderr; stdout stays machine-clean). */
+void
+reportConfig(const std::string &key, bool cached)
+{
+    std::cerr << "vcoma_client: " << key
+              << (cached ? " (cached)" : " (simulated)") << "\n";
+}
+
 int
 runOne(Options &opt)
 {
@@ -265,11 +331,13 @@ runOne(Options &opt)
 int
 runSweep(Options &opt)
 {
-    if (opt.outDir.empty()) {
-        std::cerr << "sweep needs --out-dir\n";
+    if (opt.outDir.empty() && opt.jsonlFile.empty()) {
+        std::cerr << "sweep needs --out-dir and/or --jsonl\n";
         usage(2);
     }
-    std::filesystem::create_directories(opt.outDir);
+    if (!opt.outDir.empty())
+        std::filesystem::create_directories(opt.outDir);
+    JsonlSink jsonl(opt.jsonlFile);
     const std::vector<ExperimentConfig> cfgs = sweepConfigs(opt);
     ServiceClient client = connectTo(opt);
     std::vector<ServiceClient::Outcome> outcomes;
@@ -293,39 +361,52 @@ runSweep(Options &opt)
                           : out.timedOut ? "timed out: "
                                          : "failed: ")
                       << out.error << "\n";
+            jsonl.failure(cfgs[i].key(), out.error);
             rc = out.shed ? 3 : 1;
             continue;
         }
-        writeSheet(opt.outDir + "/" + cfgs[i].key() + ".json",
-                   out.statsJson);
+        reportConfig(cfgs[i].key(), out.cached);
+        jsonl.record(out.statsJson);
+        if (!opt.outDir.empty())
+            writeSheet(opt.outDir + "/" + cfgs[i].key() + ".json",
+                       out.statsJson);
     }
     std::cerr << "vcoma_client: " << cfgs.size() << " config(s) -> "
-              << opt.outDir << "\n";
+              << (opt.outDir.empty() ? opt.jsonlFile : opt.outDir)
+              << "\n";
     return rc;
 }
 
 int
 runDirect(Options &opt)
 {
-    if (opt.outDir.empty()) {
-        std::cerr << "direct needs --out-dir\n";
+    if (opt.outDir.empty() && opt.jsonlFile.empty()) {
+        std::cerr << "direct needs --out-dir and/or --jsonl\n";
         usage(2);
     }
-    std::filesystem::create_directories(opt.outDir);
+    if (!opt.outDir.empty())
+        std::filesystem::create_directories(opt.outDir);
+    JsonlSink jsonl(opt.jsonlFile);
     Runner runner;
     int rc = 0;
     for (const ExperimentConfig &cfg : sweepConfigs(opt)) {
-        const RunStats *stats = runner.tryRun(cfg);
+        bool fresh = false;
+        const RunStats *stats = runner.tryRun(cfg, &fresh);
         if (!stats) {
             std::cerr << "vcoma_client: " << cfg.key() << ": failed: "
                       << runner.failureMessage(cfg.key()) << "\n";
+            jsonl.failure(cfg.key(),
+                          runner.failureMessage(cfg.key()));
             rc = 1;
             continue;
         }
+        reportConfig(cfg.key(), !fresh);
         std::ostringstream sheet;
         writeRunStatsJson(sheet, *stats);
-        writeSheet(opt.outDir + "/" + cfg.key() + ".json",
-                   sheet.str());
+        jsonl.record(sheet.str());
+        if (!opt.outDir.empty())
+            writeSheet(opt.outDir + "/" + cfg.key() + ".json",
+                       sheet.str());
     }
     return rc;
 }

@@ -1,0 +1,195 @@
+"""A tiny deterministic SVG chart kit (stdlib only).
+
+Just enough vector drawing for the paper's figures: rectangles,
+polylines, text, axes with 1-2-5 ticks, band scales for categorical
+axes and a legend. Output is byte-deterministic for a given input --
+coordinates are formatted to fixed precision and everything renders
+in insertion order -- so the renderer tests can diff golden files.
+"""
+
+import math
+from xml.sax.saxutils import escape, quoteattr
+
+#: Categorical palette (colorblind-safe-ish, stable order: series i
+#: always gets PALETTE[i % len]).
+PALETTE = (
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4",
+    "#8c613c", "#dc7ec0", "#797979", "#d5bb67", "#82c6e2",
+)
+
+#: Segment colors for the execution-time breakdown (busy, sync,
+#: local stall, remote stall, translation stall).
+BREAKDOWN_COLORS = (
+    "#4878d0", "#d5bb67", "#6acc64", "#d65f5f", "#956cb4",
+)
+
+FONT = "ui-sans-serif, system-ui, 'Helvetica Neue', Arial, sans-serif"
+
+
+def fmt(v):
+    """Fixed-precision coordinate/number formatting (deterministic)."""
+    s = f"{float(v):.2f}"
+    if s == "-0.00":
+        s = "0.00"
+    return s
+
+
+def nice_ticks(lo, hi, target=5):
+    """1-2-5 tick positions covering [lo, hi] (deterministic)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(1, target)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        step = mag * mult
+        if span / step <= target:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + step * 1e-9:
+        ticks.append(0.0 if abs(t) < step * 1e-9 else t)
+        t += step
+    return ticks
+
+
+def tick_label(v):
+    """Human tick label: integers bare, otherwise trimmed decimal."""
+    if abs(v - round(v)) < 1e-9:
+        return str(int(round(v)))
+    s = f"{v:.4f}".rstrip("0").rstrip(".")
+    return s
+
+
+class Svg:
+    """An SVG document built from primitives in insertion order."""
+
+    def __init__(self, width, height):
+        self.width = width
+        self.height = height
+        self._parts = []
+
+    def rect(self, x, y, w, h, fill, stroke=None, opacity=None,
+             title=None):
+        attrs = (f'x="{fmt(x)}" y="{fmt(y)}" width="{fmt(w)}" '
+                 f'height="{fmt(h)}" fill={quoteattr(fill)}')
+        if stroke:
+            attrs += f' stroke={quoteattr(stroke)} stroke-width="1"'
+        if opacity is not None:
+            attrs += f' fill-opacity="{fmt(opacity)}"'
+        if title:
+            self._parts.append(
+                f"<rect {attrs}><title>{escape(title)}</title></rect>")
+        else:
+            self._parts.append(f"<rect {attrs}/>")
+
+    def line(self, x1, y1, x2, y2, stroke, width=1.0, dash=None):
+        attrs = (f'x1="{fmt(x1)}" y1="{fmt(y1)}" x2="{fmt(x2)}" '
+                 f'y2="{fmt(y2)}" stroke={quoteattr(stroke)} '
+                 f'stroke-width="{fmt(width)}"')
+        if dash:
+            attrs += f' stroke-dasharray="{dash}"'
+        self._parts.append(f"<line {attrs}/>")
+
+    def polyline(self, points, stroke, width=1.5, title=None):
+        pts = " ".join(f"{fmt(x)},{fmt(y)}" for x, y in points)
+        body = (f'points="{pts}" fill="none" '
+                f'stroke={quoteattr(stroke)} '
+                f'stroke-width="{fmt(width)}" '
+                'stroke-linejoin="round" stroke-linecap="round"')
+        if title:
+            self._parts.append(f"<polyline {body}><title>"
+                               f"{escape(title)}</title></polyline>")
+        else:
+            self._parts.append(f"<polyline {body}/>")
+
+    def circle(self, x, y, r, fill):
+        self._parts.append(f'<circle cx="{fmt(x)}" cy="{fmt(y)}" '
+                           f'r="{fmt(r)}" fill={quoteattr(fill)}/>')
+
+    def text(self, x, y, s, size=11, anchor="start", fill="#222",
+             rotate=None, bold=False):
+        attrs = (f'x="{fmt(x)}" y="{fmt(y)}" font-size="{size}" '
+                 f'font-family={quoteattr(FONT)} '
+                 f'text-anchor="{anchor}" fill={quoteattr(fill)}')
+        if bold:
+            attrs += ' font-weight="600"'
+        if rotate is not None:
+            attrs += (f' transform="rotate({fmt(rotate)} {fmt(x)} '
+                      f'{fmt(y)})"')
+        self._parts.append(f"<text {attrs}>{escape(str(s))}</text>")
+
+    def to_string(self, desc=""):
+        head = (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                f'width="{self.width}" height="{self.height}" '
+                f'viewBox="0 0 {self.width} {self.height}">')
+        parts = [head]
+        if desc:
+            parts.append(f"<desc>{escape(desc)}</desc>")
+        parts.append(f'<rect x="0" y="0" width="{self.width}" '
+                     f'height="{self.height}" fill="#ffffff"/>')
+        parts.extend(self._parts)
+        parts.append("</svg>")
+        return "\n".join(parts) + "\n"
+
+
+class Frame:
+    """A titled plot area with a linear y axis and gridlines."""
+
+    def __init__(self, svg, title, ylabel, left=64, right=16, top=40,
+                 bottom=56):
+        self.svg = svg
+        self.x0 = left
+        self.x1 = svg.width - right
+        self.y0 = top
+        self.y1 = svg.height - bottom
+        if title:
+            svg.text(svg.width / 2, 20, title, size=13,
+                     anchor="middle", bold=True)
+        if ylabel:
+            svg.text(14, (self.y0 + self.y1) / 2, ylabel, size=11,
+                     anchor="middle", rotate=-90, fill="#444")
+        self.ymin = 0.0
+        self.ymax = 1.0
+
+    def set_yrange(self, ymin, ymax):
+        self.ymin = ymin
+        self.ymax = ymax if ymax > ymin else ymin + 1.0
+
+    def y(self, v):
+        t = (v - self.ymin) / (self.ymax - self.ymin)
+        return self.y1 - t * (self.y1 - self.y0)
+
+    def draw_y_axis(self, ticks=None, label=tick_label):
+        if ticks is None:
+            ticks = nice_ticks(self.ymin, self.ymax)
+        for t in ticks:
+            if t < self.ymin - 1e-9 or t > self.ymax + 1e-9:
+                continue
+            y = self.y(t)
+            self.svg.line(self.x0, y, self.x1, y, "#dddddd")
+            self.svg.text(self.x0 - 6, y + 3.5, label(t), size=10,
+                          anchor="end", fill="#444")
+        self.svg.line(self.x0, self.y0, self.x0, self.y1, "#222222")
+        self.svg.line(self.x0, self.y1, self.x1, self.y1, "#222222")
+
+    def legend(self, entries, swatch=10):
+        """entries: [(label, color)], laid out along the top edge."""
+        x = self.x0
+        y = self.y0 - 10
+        for label, color in entries:
+            self.svg.rect(x, y - swatch + 2, swatch, swatch, color)
+            self.svg.text(x + swatch + 4, y + 1, label, size=10,
+                          fill="#333")
+            x += swatch + 10 + 6.2 * len(str(label))
+
+
+def band_positions(x0, x1, n, pad_frac=0.15):
+    """Centers and width for @n categorical bands across [x0, x1]."""
+    if n <= 0:
+        return [], 0.0
+    band = (x1 - x0) / n
+    inner = band * (1.0 - 2.0 * pad_frac)
+    centers = [x0 + band * (i + 0.5) for i in range(n)]
+    return centers, inner

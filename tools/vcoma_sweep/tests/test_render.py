@@ -1,0 +1,162 @@
+"""Renderers: deterministic SVG output against golden files.
+
+The SVG emitters use fixed-precision coordinates and insertion-order
+element emission, so byte-identical goldens are a fair contract. After
+an intentional rendering change, regenerate with:
+
+    VCOMA_UPDATE_GOLDENS=1 python3 -m unittest \
+        vcoma_sweep.tests.test_render
+"""
+
+import math
+import os
+import unittest
+
+from vcoma_sweep import render as R
+from vcoma_sweep import spec as M
+from vcoma_sweep import svg as S
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+GOLDEN_DIR = os.path.join(HERE, "goldens")
+UPDATE = bool(os.environ.get("VCOMA_UPDATE_GOLDENS"))
+
+SPEC = M.Spec({
+    "name": "golden",
+    "defaults": {"scale": 0.05, "nodes": 8},
+    "sweeps": [
+        {"id": "exec", "workloads": ["RADIX", "FFT"],
+         "schemes": ["L0", "VCOMA"], "knobs": {"timed": True}},
+        {"id": "walks", "workloads": ["RADIX", "FFT"],
+         "schemes": ["L0", "VCOMA"]},
+        {"id": "curves", "workloads": ["RADIX"],
+         "schemes": ["L0", "VCOMA"],
+         "knobs": {"entries": [8, 32, 128]}},
+        {"id": "press", "workloads": ["RADIX", "FFT"],
+         "schemes": ["VCOMA"]},
+    ],
+    "figures": [
+        {"file": "g_exec.svg", "type": "exec_breakdown",
+         "sweep": "exec", "baseline": "L0"},
+        {"file": "g_walks.svg", "type": "miss_rates", "sweep": "walks"},
+        {"file": "g_curves.svg", "type": "miss_curves",
+         "sweep": "curves", "x": "entries"},
+        {"file": "g_press.svg", "type": "pressure", "sweep": "press",
+         "scheme": "VCOMA"},
+    ],
+})
+
+
+def synthetic_rows():
+    """A deterministic result table covering every sweep (values are
+    arbitrary but fixed; the goldens pin the rendering, not physics)."""
+    rows = []
+    for cfg in SPEC.expand():
+        row = cfg.provenance()
+        salt = len(rows) + 1   # deterministic, no RNG
+        is_vcoma = cfg.scheme == "V-COMA"
+        row.update({
+            "busy": 1000.0,
+            "sync": 120.0 + 10 * salt,
+            "loc_stall": 300.0 + 5 * salt,
+            "rem_stall": 800.0 - 20 * salt,
+            "xlat_stall": 40.0 if is_vcoma else 260.0 - 8 * salt,
+            "walks_per_1k_refs": (0.8 if is_vcoma
+                                  else 22.0 - 1.5 * salt),
+            "misses_per_node":
+                (90.0 if is_vcoma else 900.0) / cfg.knobs["entries"],
+            "pressure_profile":
+                [math.sin(j / 40.0 + salt) ** 2 * (1.0 + 0.1 * salt)
+                 for j in range(64)],
+        })
+        rows.append(row)
+    return rows
+
+
+class GoldenTest(unittest.TestCase):
+    maxDiff = None
+
+    def check_golden(self, fig):
+        text = R.render_figure(fig, synthetic_rows())
+        self.assertTrue(text.startswith("<svg "))
+        self.assertIn("</svg>", text)
+        path = os.path.join(GOLDEN_DIR, fig.file)
+        if UPDATE:
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+            self.skipTest(f"regenerated {path}")
+        with open(path, "r", encoding="utf-8") as f:
+            self.assertEqual(f.read(), text,
+                             f"{fig.file} drifted from its golden; "
+                             "if intentional, regenerate with "
+                             "VCOMA_UPDATE_GOLDENS=1")
+
+    def test_exec_breakdown_golden(self):
+        self.check_golden(SPEC.figures[0])
+
+    def test_miss_rates_golden(self):
+        self.check_golden(SPEC.figures[1])
+
+    def test_miss_curves_golden(self):
+        self.check_golden(SPEC.figures[2])
+
+    def test_pressure_golden(self):
+        self.check_golden(SPEC.figures[3])
+
+
+class RenderEdgeTest(unittest.TestCase):
+    def test_error_rows_become_footnote_not_bars(self):
+        rows = synthetic_rows()
+        victim = next(i for i, r in enumerate(rows)
+                      if r["sweep"] == "walks")
+        rows[victim] = {k: rows[victim][k]
+                        for k in ("key", "sweep", "workload", "scheme")}
+        rows[victim]["error"] = "boom"
+        text = R.render_figure(SPEC.figures[1], rows)
+        self.assertIn("n/a*", text)
+
+    def test_empty_sweep_rejected(self):
+        with self.assertRaises(R.RenderError):
+            R.render_figure(SPEC.figures[0], [])
+
+    def test_curves_need_an_axis(self):
+        rows = [r for r in synthetic_rows()
+                if r["sweep"] == "curves" and r["entries"] == 8]
+        with self.assertRaisesRegex(R.RenderError, "need an axis"):
+            R.render_figure(SPEC.figures[2], rows)
+
+    def test_pressure_needs_the_scheme(self):
+        rows = [r for r in synthetic_rows() if r["sweep"] == "press"]
+        for r in rows:
+            r["scheme"] = "L0-TLB"
+        with self.assertRaisesRegex(R.RenderError, "no rows under"):
+            R.render_figure(SPEC.figures[3], rows)
+
+    def test_missing_baseline_rejected(self):
+        rows = [r for r in synthetic_rows()
+                if r["sweep"] == "exec" and r["scheme"] != "L0-TLB"]
+        with self.assertRaisesRegex(R.RenderError, "baseline"):
+            R.render_figure(SPEC.figures[0], rows)
+
+
+class SvgPrimitiveTest(unittest.TestCase):
+    def test_nice_ticks_are_1_2_5(self):
+        ticks = S.nice_ticks(0.0, 87.0)
+        self.assertIn(0.0, ticks)
+        steps = {round(ticks[i + 1] - ticks[i], 9)
+                 for i in range(len(ticks) - 1)}
+        self.assertEqual(len(steps), 1)
+        step = steps.pop()
+        mant = step / (10 ** math.floor(math.log10(step)))
+        self.assertIn(round(mant, 6), (1.0, 2.0, 5.0))
+
+    def test_text_is_escaped(self):
+        c = S.Svg(100, 50)
+        c.text(5, 5, "a<b&c")
+        out = c.to_string()
+        self.assertIn("a&lt;b&amp;c", out)
+        self.assertNotIn("a<b", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
